@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Fig. 4 (complexity breakdown vs DB size and vs D0) and
+ * Fig. 7d (per-step kernel breakdown).
+ */
+
+#include <cstdio>
+
+#include "common/units.hh"
+#include "model/complexity.hh"
+
+using namespace ive;
+
+int
+main()
+{
+    std::printf("=== Fig. 4a: complexity breakdown vs DB size "
+                "(D0 = 256) ===\n");
+    std::printf("%-8s %12s %12s %12s %14s\n", "DB", "ExpandQuery",
+                "RowSel", "ColTor", "total mults");
+    for (u64 gb : {2, 4, 8, 16}) {
+        StepComplexity c = complexity(PirParams::paperPerf(gb * GiB));
+        std::printf("%3lluGB    %10.1f%% %10.1f%% %10.1f%% %14.3e\n",
+                    (unsigned long long)gb, 100.0 * c.expandShare(),
+                    100.0 * c.rowselShare(), 100.0 * c.coltorShare(),
+                    c.total());
+    }
+    std::printf("(paper: ExpandQuery 14%%->2%%, RowSel 58%%->66%%, "
+                "ColTor 29%%->32%%)\n\n");
+
+    std::printf("=== Fig. 4b: relative complexity vs D0 "
+                "(DB = 2GB) ===\n");
+    std::printf("%-6s %16s %12s\n", "D0", "total mults", "relative");
+    double base = 0.0;
+    for (u64 d0 : {128, 256, 512, 1024}) {
+        StepComplexity c =
+            complexity(PirParams::paperPerf(2 * GiB, d0));
+        if (base == 0.0)
+            base = c.total();
+        std::printf("%-6llu %16.3e %11.2fx\n", (unsigned long long)d0,
+                    c.total(), c.total() / base);
+    }
+    std::printf("(paper: decreasing in D0; preferable range "
+                "256-512)\n\n");
+
+    std::printf("=== Fig. 7d: kernel breakdown per step (4GB) ===\n");
+    StepComplexity c = complexity(PirParams::paperPerf(4 * GiB));
+    auto row = [](const char *name, const KernelMults &m) {
+        double t = m.total();
+        std::printf("%-12s (i)NTT %5.1f%%  GEMM %5.1f%%  (i)CRT %5.1f%%"
+                    "  Elem %5.1f%%\n",
+                    name, 100 * m.ntt / t, 100 * m.gemm / t,
+                    100 * m.icrt / t, 100 * m.elem / t);
+    };
+    row("ExpandQuery", c.expand);
+    row("RowSel", c.rowsel);
+    row("ColTor", c.coltor);
+    std::printf("(paper: ExpandQuery ~90%% NTT, RowSel 100%% GEMM, "
+                "ColTor ~83%% NTT)\n");
+    return 0;
+}

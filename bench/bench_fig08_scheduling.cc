@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Fig. 8: DRAM traffic of ExpandQuery and ColTor for 32
+ * batched queries on an 8 GB database under the scheduling policies
+ * BFS (64 MB / 128 MB cache), DFS, HS (w/ BFS), HS (w/ DFS) and
+ * HS + reduction overlapping.
+ */
+
+#include <cstdio>
+
+#include "common/units.hh"
+#include "sim/traffic.hh"
+
+using namespace ive;
+
+int
+main()
+{
+    PirParams p = PirParams::paperPerf(8 * GiB);
+    IveConfig cfg;
+    int batch = 32;
+    auto rows = schedulingStudy(p, cfg, batch, 64 * MiB, 128 * MiB);
+
+    auto gib = [](double b) { return b / (1024.0 * 1024.0 * 1024.0); };
+
+    std::printf("=== Fig. 8a: ExpandQuery DRAM traffic "
+                "(8GB DB, batch %d) ===\n", batch);
+    std::printf("%-20s %10s %10s %10s %10s %9s\n", "policy", "ct load",
+                "ct store", "evk load", "total", "vs BFS");
+    double base = rows[1].expand.totalBytes();
+    for (const auto &r : rows) {
+        std::printf("%-20s %9.2fG %9.2fG %9.2fG %9.2fG %8.2fx\n",
+                    r.name.c_str(), gib(r.expand.ctLoadBytes),
+                    gib(r.expand.ctStoreBytes),
+                    gib(r.expand.keyLoadBytes),
+                    gib(r.expand.totalBytes()),
+                    base / r.expand.totalBytes());
+    }
+    std::printf("(paper: HS 1.75x over BFS; DFS-HS +7%%; overall "
+                "1.87x)\n\n");
+
+    std::printf("=== Fig. 8b: ColTor DRAM traffic "
+                "(8GB DB, batch %d) ===\n", batch);
+    std::printf("%-20s %10s %10s %10s %10s %9s\n", "policy", "ct load",
+                "ct store", "rgsw load", "total", "vs BFS");
+    base = rows[1].coltor.totalBytes();
+    for (const auto &r : rows) {
+        std::printf("%-20s %9.2fG %9.2fG %9.2fG %9.2fG %8.2fx\n",
+                    r.name.c_str(), gib(r.coltor.ctLoadBytes),
+                    gib(r.coltor.ctStoreBytes),
+                    gib(r.coltor.keyLoadBytes),
+                    gib(r.coltor.totalBytes()),
+                    base / r.coltor.totalBytes());
+    }
+    std::printf("(paper: HS 1.81x over BFS; +R.O. 1.23x more; overall "
+                "2.24x)\n");
+    return 0;
+}

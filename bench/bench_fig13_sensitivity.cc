@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reproduces Fig. 13: the five sensitivity studies.
+ *  (a) execution-time breakdown vs DB size (2/4/8 GB);
+ *  (b) scheduling-algorithm ablation at 16 GB;
+ *  (c) batch-size sweep at 16 GB (latency + per-system QPS);
+ *  (d) batch-size sweep at 128 GB (HBM+LPDDR) and 1 TB (16 systems);
+ *  (e) architectural ablation Base / +Sp / +sysNTTU.
+ */
+
+#include <cstdio>
+
+#include "common/units.hh"
+#include "model/cost.hh"
+#include "sim/accelerator.hh"
+#include "system/cluster.hh"
+
+using namespace ive;
+
+int
+main()
+{
+    IveSimulator ive;
+
+    std::printf("=== Fig. 13a: execution-time breakdown vs DB size "
+                "(batch 64) ===\n");
+    std::printf("%-6s %10s %10s %10s %10s %10s\n", "DB", "Expand%",
+                "RowSel%", "ColTor%", "NoC+Comm%", "latency");
+    for (u64 gb : {2, 4, 8}) {
+        auto r = ive.runDbSize(gb * GiB, 64);
+        double t = r.latencySec;
+        std::printf("%3lluGB  %9.1f%% %9.1f%% %9.1f%% %9.1f%% %8.1fms\n",
+                    (unsigned long long)gb, 100 * r.expandSec / t,
+                    100 * r.rowselSec / t, 100 * r.coltorSec / t,
+                    100 * (r.nocSec + r.commSec) / t, t * 1e3);
+    }
+    std::printf("(paper: RowSel 63%% -> 73%% as DB grows)\n\n");
+
+    std::printf("=== Fig. 13b: scheduling algorithm ablation "
+                "(16GB, batch 64) ===\n");
+    std::printf("%-18s %12s %10s\n", "algorithm", "latency(ms)",
+                "speedup");
+    PirParams p16 = PirParams::paperPerf(16 * GiB);
+    struct Alg
+    {
+        const char *name;
+        ScheduleConfig sched;
+        bool ro;
+    };
+    double base_lat = 0.0;
+    for (const Alg &alg :
+         {Alg{"BFS", {ScheduleKind::BFS, false, 0}, false},
+          Alg{"DFS", {ScheduleKind::DFS, true, 0}, false},
+          Alg{"HS (w/ DFS)", {ScheduleKind::HS, true, 0}, false},
+          Alg{"HS+RO (w/ DFS)", {ScheduleKind::HS, true, 0}, true}}) {
+        SimOptions o;
+        o.batch = 64;
+        o.expandSched = alg.sched;
+        o.coltorSched = alg.sched;
+        o.reductionOverlap = alg.ro;
+        auto r = simulatePir(p16, IveConfig::ive32(), o);
+        if (base_lat == 0.0)
+            base_lat = r.latencySec;
+        std::printf("%-18s %12.1f %9.2fx\n", alg.name,
+                    r.latencySec * 1e3, base_lat / r.latencySec);
+    }
+    std::printf("(paper: HS+RO 1.26x end-to-end over BFS at 16GB)\n\n");
+
+    std::printf("=== Fig. 13c: batch-size scaling (16GB) ===\n");
+    std::printf("%-6s %12s %12s %10s\n", "batch", "latency(ms)",
+                "minLat(ms)", "QPS");
+    for (int b : {1, 16, 32, 64, 96}) {
+        auto r = ive.runDbSize(16 * GiB, b);
+        std::printf("%-6d %12.1f %12.1f %10.1f\n", b,
+                    r.latencySec * 1e3, r.minLatencySec * 1e3, r.qps);
+    }
+    std::printf("(paper: saturates ~591 QPS at batch 64; latency "
+                "overhead 3.46x)\n\n");
+
+    std::printf("=== Fig. 13d: batch-size scaling, 128GB "
+                "(HBM+LPDDR) and 1TB (16 systems) ===\n");
+    std::printf("%-22s %8s %12s %12s %14s\n", "config", "batch",
+                "latency(s)", "minLat(s)", "QPS/system");
+    for (int b : {32, 64, 96, 128, 160}) {
+        auto r = ive.runDbSize(128 * GiB, b);
+        std::printf("%-22s %8d %12.3f %12.3f %14.2f\n",
+                    "128GB (1 system)", b, r.latencySec,
+                    r.minLatencySec, r.qps);
+    }
+    for (int b : {32, 64, 128, 160}) {
+        auto r = simulateCluster(TiB, 16, IveConfig::ive32(), b);
+        std::printf("%-22s %8d %12.3f %12s %14.2f\n",
+                    "1TB (16 systems)", b, r.latencySec, "-",
+                    r.qpsPerSystem);
+    }
+    std::printf("(paper: 79.9 and 9.89 QPS/system at saturation; "
+                "QPS x DBsize ~ constant)\n\n");
+
+    std::printf("=== Fig. 13e: architectural ablation (energy / delay "
+                "/ area, relative) ===\n");
+    std::printf("%-10s %10s %10s %10s\n", "config", "energy", "delay",
+                "area");
+    SimOptions o;
+    o.batch = 64;
+    PirParams p8 = PirParams::paperPerf(8 * GiB);
+    IveConfig cfgs[3] = {IveConfig::baseSeparate(),
+                         IveConfig::baseSpecialPrimes(),
+                         IveConfig::ive32()};
+    const char *names[3] = {"Base", "+Sp", "+sysNTTU"};
+    double e0 = 0, d0 = 0, a0 = 0;
+    for (int i = 0; i < 3; ++i) {
+        auto r = simulatePir(p8, cfgs[i], o);
+        auto c = chipCost(cfgs[i]);
+        if (i == 0) {
+            e0 = r.energyJ;
+            d0 = r.latencySec;
+            a0 = c.totalAreaMm2;
+        }
+        std::printf("%-10s %9.3fx %9.3fx %9.3fx\n", names[i],
+                    r.energyJ / e0, r.latencySec / d0,
+                    c.totalAreaMm2 / a0);
+    }
+    std::printf("(paper: +Sp 0.96 area/energy; +sysNTTU area 0.90, "
+                "energy 1.05, delay 1.0)\n");
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the crypto kernels: the building
+ * blocks whose counts drive the complexity model and the hardware
+ * mapping (NTT, external product, Subs, RowSel MAC, Dcp, iCRT,
+ * Solinas vs Barrett reduction).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bfv/automorphism.hh"
+#include "bfv/rgsw.hh"
+#include "modmath/primes.hh"
+#include "modmath/solinas.hh"
+#include "pir/params.hh"
+
+using namespace ive;
+
+namespace {
+
+struct KernelFixture
+{
+    KernelFixture()
+        : params(PirParams::functionalDefault()), ctx(params.he),
+          rng(1), sk(ctx, rng),
+          plain(ctx.n(), 0x12345678u),
+          ct(encryptPlain(ctx, sk, rng, plain)),
+          rgsw(encryptRgswConst(ctx, sk, rng, 1)),
+          evk(genEvk(ctx, sk, rng, ctx.n() + 1)),
+          dbEntry(liftPlain(ctx, plain))
+    {
+    }
+
+    PirParams params;
+    HeContext ctx;
+    Rng rng;
+    SecretKey sk;
+    std::vector<u64> plain;
+    BfvCiphertext ct;
+    RgswCiphertext rgsw;
+    EvkKey evk;
+    RnsPoly dbEntry;
+};
+
+KernelFixture &
+fixture()
+{
+    static KernelFixture f;
+    return f;
+}
+
+} // namespace
+
+static void
+BM_NttForward(benchmark::State &state)
+{
+    auto &f = fixture();
+    RnsPoly p = f.dbEntry;
+    p.fromNtt(f.ctx.ring());
+    for (auto _ : state) {
+        RnsPoly q = p;
+        q.toNtt(f.ctx.ring());
+        benchmark::DoNotOptimize(q);
+    }
+}
+BENCHMARK(BM_NttForward);
+
+static void
+BM_NttInverse(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        RnsPoly q = f.dbEntry;
+        q.fromNtt(f.ctx.ring());
+        benchmark::DoNotOptimize(q);
+    }
+}
+BENCHMARK(BM_NttInverse);
+
+static void
+BM_RowSelMac(benchmark::State &state)
+{
+    // One plaintext-ciphertext multiply-accumulate: the unit of RowSel.
+    auto &f = fixture();
+    BfvCiphertext acc;
+    acc.a = RnsPoly(f.ctx.ring(), Domain::Ntt);
+    acc.b = RnsPoly(f.ctx.ring(), Domain::Ntt);
+    for (auto _ : state) {
+        plainMulAcc(f.ctx, acc, f.dbEntry, f.ct);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            f.ctx.ring().words() * 8);
+}
+BENCHMARK(BM_RowSelMac);
+
+static void
+BM_ExternalProduct(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        BfvCiphertext out = externalProduct(f.ctx, f.rgsw, f.ct);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ExternalProduct);
+
+static void
+BM_Subs(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        BfvCiphertext out = subs(f.ctx, f.ct, f.evk);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_Subs);
+
+static void
+BM_GadgetDecompose(benchmark::State &state)
+{
+    auto &f = fixture();
+    RnsPoly a = f.ct.a;
+    a.fromNtt(f.ctx.ring());
+    for (auto _ : state) {
+        auto digits = decomposePoly(f.ctx, f.ctx.gadgetRgsw(), a);
+        benchmark::DoNotOptimize(digits);
+    }
+}
+BENCHMARK(BM_GadgetDecompose);
+
+static void
+BM_IcrtReconstruct(benchmark::State &state)
+{
+    auto &f = fixture();
+    const Ring &ring = f.ctx.ring();
+    RnsPoly a = f.ct.a;
+    a.fromNtt(ring);
+    std::vector<u64> res(ring.k());
+    for (auto _ : state) {
+        u128 acc = 0;
+        for (u64 i = 0; i < ring.n; ++i) {
+            a.coeffResidues(i, res);
+            acc += ring.base.fromRns(res);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * ring.n);
+}
+BENCHMARK(BM_IcrtReconstruct);
+
+static void
+BM_BarrettMul(benchmark::State &state)
+{
+    Modulus mod(kIvePrimes[0]);
+    u64 x = 0x5a5a5a5;
+    for (auto _ : state) {
+        x = mod.mul(x, 0x3c3c3c3);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_BarrettMul);
+
+static void
+BM_SolinasMul(benchmark::State &state)
+{
+    SolinasReducer sol(kIvePrimes[0], kIvePrimeExponents[0]);
+    u64 x = 0x5a5a5a5;
+    for (auto _ : state) {
+        x = sol.mul(x, 0x3c3c3c3);
+        benchmark::DoNotOptimize(x);
+    }
+}
+BENCHMARK(BM_SolinasMul);

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Table II: area and peak power of the 32-core IVE.
+ */
+
+#include <cstdio>
+
+#include "model/cost.hh"
+
+using namespace ive;
+
+int
+main()
+{
+    IveConfig cfg = IveConfig::ive32();
+    ChipCost c = chipCost(cfg);
+
+    std::printf("=== Table II: area and peak power of 32-core IVE "
+                "===\n");
+    std::printf("%-16s %12s %12s\n", "Component", "Area (mm^2)",
+                "Power (W)");
+    for (const auto &comp : c.perCore)
+        std::printf("%-16s %12.2f %12.2f\n", comp.name.c_str(),
+                    comp.areaMm2, comp.watts);
+    std::printf("%-16s %12.2f %12.2f\n", "1 core", c.coreAreaMm2,
+                c.coreWatts);
+    std::printf("%-16s %12.1f %12.1f\n", "32 cores", c.coresAreaMm2,
+                c.coresWatts);
+    std::printf("%-16s %12.1f %12.1f\n", "NoC", c.nocAreaMm2,
+                c.nocWatts);
+    std::printf("%-16s %12.1f %12.1f\n", "HBM", c.hbmAreaMm2,
+                c.hbmWatts);
+    std::printf("%-16s %12.1f %12.1f\n", "Sum", c.totalAreaMm2,
+                c.totalWatts);
+    std::printf("(paper: core 2.91 / 5.12, 32 cores 93.1 / 163.8, NoC "
+                "2.6 / 6.7,\n HBM 59.6 / 68.6, sum 155.3 / 239.1)\n");
+    return 0;
+}

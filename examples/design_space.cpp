@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Accelerator design-space exploration with the cycle-level simulator
+ * and the cost model: sweeps core count, per-core scratchpad and HBM
+ * bandwidth, reporting throughput, area and QPS-per-mm^2 so a designer
+ * can see where IVE's flagship configuration sits.
+ */
+
+#include <cstdio>
+
+#include "common/units.hh"
+#include "model/cost.hh"
+#include "sim/accelerator.hh"
+
+using namespace ive;
+
+namespace {
+
+void
+runPoint(IveConfig cfg, const char *label)
+{
+    SimOptions o;
+    o.batch = 64;
+    PirParams p = PirParams::paperPerf(8 * GiB);
+    auto r = simulatePir(p, cfg, o);
+    auto c = chipCost(cfg);
+    std::printf("%-28s %8.1f QPS %8.1f mm^2 %8.2f W %10.3f QPS/mm^2 "
+                "%8.4f J/q\n",
+                label, r.qps, c.totalAreaMm2, c.totalWatts,
+                r.qps / c.totalAreaMm2, r.energyPerQueryJ);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("design-space exploration: batched PIR on an 8 GB "
+                "database, batch 64\n\n");
+
+    std::printf("--- core count (2 sysNTTUs, 4 MB RF per core) ---\n");
+    for (int cores : {8, 16, 32, 64}) {
+        IveConfig cfg;
+        cfg.cores = cores;
+        char label[64];
+        std::snprintf(label, sizeof(label), "%d cores", cores);
+        runPoint(cfg, label);
+    }
+
+    std::printf("\n--- per-core register file ---\n");
+    for (u64 mb : {1, 2, 4, 8}) {
+        IveConfig cfg;
+        cfg.rfBytes = mb * MiB;
+        char label[64];
+        std::snprintf(label, sizeof(label), "%llu MiB RF/core",
+                      (unsigned long long)mb);
+        runPoint(cfg, label);
+    }
+
+    std::printf("\n--- HBM bandwidth ---\n");
+    for (int gbps : {512, 1024, 2048, 4096}) {
+        IveConfig cfg;
+        cfg.hbmBytesPerSec = gbps * GiB;
+        char label[64];
+        std::snprintf(label, sizeof(label), "%d GB/s HBM", gbps);
+        runPoint(cfg, label);
+    }
+
+    std::printf("\n--- sysNTTU count per core ---\n");
+    for (int units : {1, 2, 4}) {
+        IveConfig cfg;
+        cfg.sysNttuPerCore = units;
+        char label[64];
+        std::snprintf(label, sizeof(label), "%d sysNTTU/core", units);
+        runPoint(cfg, label);
+    }
+
+    std::printf("\nflagship IVE-32 reference:\n");
+    runPoint(IveConfig::ive32(), "IVE-32 (paper)");
+    return 0;
+}

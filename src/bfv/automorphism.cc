@@ -1,0 +1,60 @@
+#include "bfv/automorphism.hh"
+
+#include "bfv/rgsw.hh"
+#include "common/logging.hh"
+
+namespace ive {
+
+EvkKey
+genEvk(const HeContext &ctx, const SecretKey &sk, Rng &rng, u64 r)
+{
+    const Ring &ring = ctx.ring();
+    const Gadget &gadget = ctx.gadgetKs();
+    ive_assert(r % 2 == 1 && r < 2 * ring.n);
+
+    RnsPoly s_rot = sk.sCoeff().automorphism(ring, r);
+    s_rot.toNtt(ring);
+
+    EvkKey evk;
+    evk.r = r;
+    evk.rows.reserve(gadget.ell());
+    for (int k = 0; k < gadget.ell(); ++k) {
+        BfvCiphertext row = encryptZero(ctx, sk, rng);
+        RnsPoly term = s_rot;
+        term.scalarMulInPlace(ring, gadget.zPowResidues(k));
+        row.b.addInPlace(ring, term);
+        evk.rows.push_back(std::move(row));
+    }
+    return evk;
+}
+
+BfvCiphertext
+subs(const HeContext &ctx, const BfvCiphertext &ct, const EvkKey &evk)
+{
+    const Ring &ring = ctx.ring();
+    const Gadget &gadget = ctx.gadgetKs();
+
+    // Automorphism on both polynomials (coefficient domain).
+    RnsPoly a_coeff = ct.a;
+    a_coeff.fromNtt(ring);
+    RnsPoly a_rot = a_coeff.automorphism(ring, evk.r);
+
+    RnsPoly b_coeff = ct.b;
+    b_coeff.fromNtt(ring);
+    RnsPoly b_rot = b_coeff.automorphism(ring, evk.r);
+    b_rot.toNtt(ring);
+
+    // Key switch sigma_r(a) back under s.
+    std::vector<RnsPoly> digits = decomposePoly(ctx, gadget, a_rot);
+
+    BfvCiphertext out;
+    out.a = RnsPoly(ring, Domain::Ntt);
+    out.b = b_rot;
+    for (int k = 0; k < gadget.ell(); ++k) {
+        out.a.mulAccumulate(ring, digits[k], evk.rows[k].a);
+        out.b.mulAccumulate(ring, digits[k], evk.rows[k].b);
+    }
+    return out;
+}
+
+} // namespace ive

@@ -1,0 +1,37 @@
+#include "bfv/context.hh"
+
+#include "common/logging.hh"
+#include "modmath/primes.hh"
+
+namespace ive {
+
+namespace {
+
+std::vector<u64>
+resolvePrimes(const HeContextConfig &cfg)
+{
+    if (!cfg.primes.empty())
+        return cfg.primes;
+    return {kIvePrimes.begin(), kIvePrimes.end()};
+}
+
+} // namespace
+
+HeContext::HeContext(const HeContextConfig &cfg)
+    : cfg_(cfg), ring_(cfg.n, resolvePrimes(cfg)),
+      plainModulus_(cfg.plainModulus)
+{
+    ive_assert(plainModulus_ >= 2);
+    // Delta must dominate P by a wide margin or there is no noise room.
+    ive_assert(ring_.base.logQ() >
+               std::log2(static_cast<double>(plainModulus_)) + 20);
+    delta_ = ring_.base.delta(plainModulus_);
+    deltaRns_.resize(ring_.k());
+    ring_.base.toRns(delta_, deltaRns_);
+    gadgetKs_ =
+        std::make_unique<Gadget>(&ring_.base, cfg.logZKs, cfg.ellKs);
+    gadgetRgsw_ =
+        std::make_unique<Gadget>(&ring_.base, cfg.logZRgsw, cfg.ellRgsw);
+}
+
+} // namespace ive

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * HE context: ring, plaintext modulus, scaling factor, gadgets.
+ *
+ * Bundles everything the BFV/RGSW layer needs. Two gadgets coexist, as
+ * in OnionPIR: a finer one for key-switching keys (evk, used by Subs
+ * during ExpandQuery, where noise is amplified by the expansion tree)
+ * and a coarser one for RGSW external products (ColTor).
+ */
+
+#ifndef IVE_BFV_CONTEXT_HH
+#define IVE_BFV_CONTEXT_HH
+
+#include <memory>
+#include <vector>
+
+#include "poly/poly.hh"
+#include "rns/gadget.hh"
+
+namespace ive {
+
+struct HeContextConfig
+{
+    u64 n = 4096;
+    std::vector<u64> primes; ///< Defaults to kIvePrimes when empty.
+    u64 plainModulus = u64{1} << 32;
+    int logZKs = 13;
+    int ellKs = 9;
+    int logZRgsw = 14;
+    int ellRgsw = 8;
+};
+
+class HeContext
+{
+  public:
+    explicit HeContext(const HeContextConfig &cfg);
+
+    HeContext(const HeContext &) = delete;
+    HeContext &operator=(const HeContext &) = delete;
+
+    const Ring &ring() const { return ring_; }
+    u64 n() const { return ring_.n; }
+    u64 plainModulus() const { return plainModulus_; }
+
+    /** Residues of Delta = floor(Q/P). */
+    std::span<const u64> deltaRns() const { return deltaRns_; }
+    u128 delta() const { return delta_; }
+
+    const Gadget &gadgetKs() const { return *gadgetKs_; }
+    const Gadget &gadgetRgsw() const { return *gadgetRgsw_; }
+
+    const HeContextConfig &config() const { return cfg_; }
+
+  private:
+    HeContextConfig cfg_;
+    Ring ring_;
+    u64 plainModulus_;
+    u128 delta_;
+    std::vector<u64> deltaRns_;
+    std::unique_ptr<Gadget> gadgetKs_;
+    std::unique_ptr<Gadget> gadgetRgsw_;
+};
+
+} // namespace ive
+
+#endif // IVE_BFV_CONTEXT_HH

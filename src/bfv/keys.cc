@@ -1,0 +1,12 @@
+#include "bfv/keys.hh"
+
+namespace ive {
+
+SecretKey::SecretKey(const HeContext &ctx, Rng &rng)
+{
+    sCoeff_ = RnsPoly::ternary(ctx.ring(), rng);
+    sNtt_ = sCoeff_;
+    sNtt_.toNtt(ctx.ring());
+}
+
+} // namespace ive

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Secret key generation.
+ */
+
+#ifndef IVE_BFV_KEYS_HH
+#define IVE_BFV_KEYS_HH
+
+#include "bfv/context.hh"
+#include "common/rng.hh"
+#include "poly/poly.hh"
+
+namespace ive {
+
+/** Ternary secret key, kept in NTT form for fast phase computations. */
+class SecretKey
+{
+  public:
+    SecretKey(const HeContext &ctx, Rng &rng);
+
+    /** s in NTT form. */
+    const RnsPoly &sNtt() const { return sNtt_; }
+    /** s in coefficient form (for automorphism-key generation). */
+    const RnsPoly &sCoeff() const { return sCoeff_; }
+
+  private:
+    RnsPoly sCoeff_;
+    RnsPoly sNtt_;
+};
+
+} // namespace ive
+
+#endif // IVE_BFV_KEYS_HH

@@ -1,0 +1,41 @@
+#include "bfv/noise.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ive {
+
+NoiseReport
+measureNoise(const HeContext &ctx, const SecretKey &sk,
+             const BfvCiphertext &ct, std::span<const u64> expected_mod_p)
+{
+    const Ring &ring = ctx.ring();
+    ive_assert(expected_mod_p.size() == ring.n);
+
+    RnsPoly phase = phaseOf(ctx, sk, ct);
+    phase.fromNtt(ring);
+
+    std::vector<u64> res(ring.k());
+    u128 delta = ctx.delta();
+    u128 q = ring.base.bigQ();
+    u128 max_err = 0;
+    for (u64 i = 0; i < ring.n; ++i) {
+        phase.coeffResidues(i, res);
+        u128 x = ring.base.fromRns(res);
+        u128 want = (delta * (expected_mod_p[i] % ctx.plainModulus())) % q;
+        u128 diff = x >= want ? x - want : x + q - want;
+        // Error is the centered representative of diff.
+        if (diff > q / 2)
+            diff = q - diff;
+        if (diff > max_err)
+            max_err = diff;
+    }
+
+    double noise_bits =
+        max_err == 0 ? 0.0 : std::log2(static_cast<double>(max_err));
+    double half_delta_bits = std::log2(static_cast<double>(delta)) - 1.0;
+    return {noise_bits, half_delta_bits - noise_bits};
+}
+
+} // namespace ive

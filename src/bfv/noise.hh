@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Noise measurement for error-growth analysis (paper SII-C).
+ */
+
+#ifndef IVE_BFV_NOISE_HH
+#define IVE_BFV_NOISE_HH
+
+#include <span>
+
+#include "bfv/bfv.hh"
+
+namespace ive {
+
+struct NoiseReport
+{
+    double noiseBits;  ///< log2 of the max |error| coefficient.
+    double budgetBits; ///< log2(Delta/2) - noiseBits; > 0 decrypts.
+};
+
+/**
+ * Measures the noise of ct against the expected plaintext (mod P).
+ * Requires the secret key; used by tests and the error-analysis bench.
+ */
+NoiseReport measureNoise(const HeContext &ctx, const SecretKey &sk,
+                         const BfvCiphertext &ct,
+                         std::span<const u64> expected_mod_p);
+
+} // namespace ive
+
+#endif // IVE_BFV_NOISE_HH

@@ -1,0 +1,119 @@
+#include "bfv/rgsw.hh"
+
+#include "common/logging.hh"
+
+namespace ive {
+
+std::vector<RnsPoly>
+decomposePoly(const HeContext &ctx, const Gadget &gadget,
+              const RnsPoly &poly_coeff)
+{
+    const Ring &ring = ctx.ring();
+    ive_assert(!poly_coeff.isNtt());
+    int ell = gadget.ell();
+
+    std::vector<RnsPoly> digits;
+    digits.reserve(ell);
+    for (int k = 0; k < ell; ++k)
+        digits.emplace_back(ring, Domain::Coeff);
+
+    std::vector<u64> res(ring.k());
+    std::vector<u64> dig(ell);
+    for (u64 i = 0; i < ring.n; ++i) {
+        poly_coeff.coeffResidues(i, res);
+        u128 x = ring.base.fromRns(res); // iCRT (Eq. 3)
+        gadget.decompose(x, dig);        // bit extraction
+        for (int k = 0; k < ell; ++k) {
+            // Digits are < z < every q_i: identical residues per prime.
+            for (int p = 0; p < ring.k(); ++p)
+                digits[k].set(p, i, dig[k]);
+        }
+    }
+    for (auto &d : digits)
+        d.toNtt(ring);
+    return digits;
+}
+
+namespace {
+
+/** Adds m*z^k (m given in NTT form) to one polynomial of a row. */
+void
+addGadgetTerm(const HeContext &ctx, const Gadget &gadget, int k,
+              const RnsPoly &m_ntt, RnsPoly &target)
+{
+    RnsPoly term = m_ntt;
+    term.scalarMulInPlace(ctx.ring(), gadget.zPowResidues(k));
+    target.addInPlace(ctx.ring(), term);
+}
+
+} // namespace
+
+RgswCiphertext
+encryptRgswPoly(const HeContext &ctx, const SecretKey &sk, Rng &rng,
+                const RnsPoly &m_ntt)
+{
+    ive_assert(m_ntt.isNtt());
+    const Gadget &gadget = ctx.gadgetRgsw();
+    int ell = gadget.ell();
+
+    RgswCiphertext out;
+    out.ell = ell;
+    out.rows.reserve(2 * ell);
+    for (int k = 0; k < ell; ++k) {
+        BfvCiphertext row = encryptZero(ctx, sk, rng);
+        addGadgetTerm(ctx, gadget, k, m_ntt, row.a);
+        out.rows.push_back(std::move(row));
+    }
+    for (int k = 0; k < ell; ++k) {
+        BfvCiphertext row = encryptZero(ctx, sk, rng);
+        addGadgetTerm(ctx, gadget, k, m_ntt, row.b);
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+RgswCiphertext
+encryptRgswConst(const HeContext &ctx, const SecretKey &sk, Rng &rng,
+                 u64 m)
+{
+    const Ring &ring = ctx.ring();
+    RnsPoly m_poly(ring, Domain::Coeff);
+    std::vector<u64> res(ring.k());
+    ring.base.toRns(m, res);
+    for (int p = 0; p < ring.k(); ++p)
+        m_poly.set(p, 0, res[p]);
+    m_poly.toNtt(ring);
+    return encryptRgswPoly(ctx, sk, rng, m_poly);
+}
+
+BfvCiphertext
+externalProduct(const HeContext &ctx, const RgswCiphertext &rgsw,
+                const BfvCiphertext &ct)
+{
+    const Ring &ring = ctx.ring();
+    const Gadget &gadget = ctx.gadgetRgsw();
+    int ell = rgsw.ell;
+    ive_assert(static_cast<int>(rgsw.rows.size()) == 2 * ell);
+    ive_assert(gadget.ell() == ell);
+
+    RnsPoly a_coeff = ct.a;
+    a_coeff.fromNtt(ring);
+    RnsPoly b_coeff = ct.b;
+    b_coeff.fromNtt(ring);
+
+    std::vector<RnsPoly> da = decomposePoly(ctx, gadget, a_coeff);
+    std::vector<RnsPoly> db = decomposePoly(ctx, gadget, b_coeff);
+
+    BfvCiphertext out;
+    out.a = RnsPoly(ring, Domain::Ntt);
+    out.b = RnsPoly(ring, Domain::Ntt);
+    for (int k = 0; k < ell; ++k) {
+        out.a.mulAccumulate(ring, da[k], rgsw.rows[k].a);
+        out.b.mulAccumulate(ring, da[k], rgsw.rows[k].b);
+        out.a.mulAccumulate(ring, db[k], rgsw.rows[ell + k].a);
+        out.b.mulAccumulate(ring, db[k], rgsw.rows[ell + k].b);
+    }
+    return out;
+}
+
+} // namespace ive

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small bit-manipulation and integer-math helpers.
+ */
+
+#ifndef IVE_COMMON_BITOPS_HH
+#define IVE_COMMON_BITOPS_HH
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ive {
+
+/** True when x is a nonzero power of two. */
+constexpr bool
+isPow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x > 0. */
+constexpr int
+log2Floor(u64 x)
+{
+    return 63 - std::countl_zero(x);
+}
+
+/** log2(x) for an exact power of two. */
+constexpr int
+log2Exact(u64 x)
+{
+    return log2Floor(x);
+}
+
+/** ceil(log2(x)) for x > 0. */
+constexpr int
+log2Ceil(u64 x)
+{
+    return x <= 1 ? 0 : log2Floor(x - 1) + 1;
+}
+
+/** Smallest power of two >= x. */
+constexpr u64
+nextPow2(u64 x)
+{
+    return x <= 1 ? 1 : u64{1} << log2Ceil(x);
+}
+
+/** ceil(a / b) for b > 0. */
+constexpr u64
+divCeil(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Reverses the low 'bits' bits of x. */
+constexpr u32
+bitReverse(u32 x, int bits)
+{
+    u32 r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+} // namespace ive
+
+#endif // IVE_COMMON_BITOPS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * fatal()  -- the caller supplied an invalid configuration; exit(1).
+ * panic()  -- an internal invariant was violated (a library bug); abort().
+ * warn()   -- something works but deserves user attention.
+ * inform() -- plain status output.
+ */
+
+#ifndef IVE_COMMON_LOGGING_HH
+#define IVE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace ive {
+
+[[noreturn]] void fatal(const char *fmt, ...);
+[[noreturn]] void panic(const char *fmt, ...);
+void warn(const char *fmt, ...);
+void inform(const char *fmt, ...);
+
+/** Formats printf-style arguments into a std::string. */
+std::string strprintf(const char *fmt, ...);
+
+} // namespace ive
+
+/**
+ * Assert an internal invariant; calls panic() with location info when the
+ * condition fails. Enabled in all build types (the simulator relies on it).
+ */
+#define ive_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::ive::panic("assertion '%s' failed at %s:%d", #cond,          \
+                         __FILE__, __LINE__);                              \
+        }                                                                  \
+    } while (0)
+
+#endif // IVE_COMMON_LOGGING_HH

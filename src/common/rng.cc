@@ -1,0 +1,104 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace ive {
+
+namespace {
+
+u64
+splitmix64(u64 &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+u64
+Rng::next()
+{
+    u64 result = rotl(s_[1] * 5, 7) * 9;
+    u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::uniform(u64 bound)
+{
+    ive_assert(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    u64 threshold = (~bound + 1) % bound; // == 2^64 mod bound
+    u64 r;
+    do {
+        r = next();
+    } while (r < threshold);
+    return r % bound;
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+u64
+Rng::ternary(u64 q)
+{
+    switch (uniform(3)) {
+      case 0: return q - 1;
+      case 1: return 0;
+      default: return 1;
+    }
+}
+
+u64
+Rng::cbdNoise(u64 q)
+{
+    // Sum of 20 fair-coin differences: variance 10, sigma ~3.16.
+    int acc = 0;
+    u64 bits = next();
+    for (int i = 0; i < 20; ++i) {
+        acc += static_cast<int>(bits & 1) -
+               static_cast<int>((bits >> 1) & 1);
+        bits >>= 2;
+    }
+    if (acc >= 0)
+        return static_cast<u64>(acc);
+    return q - static_cast<u64>(-acc);
+}
+
+double
+Rng::exponential(double rate)
+{
+    ive_assert(rate > 0.0);
+    double u;
+    do {
+        u = uniformReal();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+} // namespace ive

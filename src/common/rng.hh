@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the library (key generation, encryption noise,
+ * workload synthesis, Poisson arrivals) flows through Rng so that tests
+ * and benches are reproducible. The core generator is xoshiro256**,
+ * seeded through splitmix64.
+ */
+
+#ifndef IVE_COMMON_RNG_HH
+#define IVE_COMMON_RNG_HH
+
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace ive {
+
+/** Seedable xoshiro256** generator with crypto-shaped helpers. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x17e5eedULL);
+
+    /** Next raw 64-bit value. */
+    u64 next();
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    u64 uniform(u64 bound);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Ternary value in {-1, 0, 1} mapped into Z_q as {q-1, 0, 1}. */
+    u64 ternary(u64 q);
+
+    /**
+     * Centered-binomial noise with standard deviation ~3.2 (eta = 20),
+     * mapped into Z_q. Matches the error width HE libraries use.
+     */
+    u64 cbdNoise(u64 q);
+
+    /** Poisson-process exponential inter-arrival sample with given rate. */
+    double exponential(double rate);
+
+  private:
+    u64 s_[4];
+};
+
+} // namespace ive
+
+#endif // IVE_COMMON_RNG_HH

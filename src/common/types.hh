@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fixed-width integer aliases used throughout the IVE library.
+ */
+
+#ifndef IVE_COMMON_TYPES_HH
+#define IVE_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ive {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+using i64 = std::int64_t;
+using i128 = __int128;
+
+} // namespace ive
+
+#endif // IVE_COMMON_TYPES_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Size/bandwidth unit helpers. The paper uses binary units throughout
+ * (1 TB = 2^10 GB = 2^40 B), which we follow.
+ */
+
+#ifndef IVE_COMMON_UNITS_HH
+#define IVE_COMMON_UNITS_HH
+
+#include "common/types.hh"
+
+namespace ive {
+
+constexpr u64 KiB = u64{1} << 10;
+constexpr u64 MiB = u64{1} << 20;
+constexpr u64 GiB = u64{1} << 30;
+constexpr u64 TiB = u64{1} << 40;
+
+/** Bandwidths are expressed in bytes per second (binary GB). */
+constexpr double
+gbps(double gib_per_s)
+{
+    return gib_per_s * static_cast<double>(GiB);
+}
+
+} // namespace ive
+
+#endif // IVE_COMMON_UNITS_HH

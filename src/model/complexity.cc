@@ -1,0 +1,100 @@
+#include "model/complexity.hh"
+
+namespace ive {
+
+namespace {
+
+int
+numPrimes(const PirParams &p)
+{
+    return p.he.primes.empty() ? 4 : static_cast<int>(p.he.primes.size());
+}
+
+} // namespace
+
+KernelMults &
+KernelMults::operator+=(const KernelMults &o)
+{
+    ntt += o.ntt;
+    gemm += o.gemm;
+    icrt += o.icrt;
+    elem += o.elem;
+    return *this;
+}
+
+double
+nttMults(const PirParams &p)
+{
+    double n = static_cast<double>(p.he.n);
+    return numPrimes(p) * (n / 2.0) * log2Exact(p.he.n);
+}
+
+KernelMults
+subsMults(const PirParams &p)
+{
+    double kn = static_cast<double>(numPrimes(p)) * p.he.n;
+    KernelMults m;
+    // iNTT of (a, b) plus NTT of the ellKs digit polynomials.
+    m.ntt = (2 + p.he.ellKs) * nttMults(p);
+    // iCRT reconstruction: k mults per coefficient of a.
+    m.icrt = static_cast<double>(numPrimes(p)) * p.he.n;
+    // evk MAC: 2*ellKs polynomial-wise MACs.
+    m.elem = 2.0 * p.he.ellKs * kn;
+    return m;
+}
+
+KernelMults
+externalProductMults(const PirParams &p)
+{
+    double kn = static_cast<double>(numPrimes(p)) * p.he.n;
+    KernelMults m;
+    // iNTT of (a, b) plus NTT of 2*ellRgsw digit polynomials.
+    m.ntt = (2 + 2 * p.he.ellRgsw) * nttMults(p);
+    // iCRT on both polynomials.
+    m.icrt = 2.0 * numPrimes(p) * p.he.n;
+    // 2 x 2*ellRgsw matrix-vector MAC.
+    m.elem = 2.0 * 2 * p.he.ellRgsw * kn;
+    return m;
+}
+
+u64
+expansionSubsCount(const PirParams &p)
+{
+    u64 used = p.usedLeaves();
+    u64 count = 0;
+    for (int t = 0; t < p.expansionDepth(); ++t)
+        count += std::min(u64{1} << t, used);
+    return count;
+}
+
+StepComplexity
+complexity(const PirParams &p)
+{
+    StepComplexity s;
+    double kn = static_cast<double>(numPrimes(p)) * p.he.n;
+
+    // ExpandQuery: pruned Subs tree + RGSW selector assembly.
+    KernelMults subs = subsMults(p);
+    double n_subs = static_cast<double>(expansionSubsCount(p));
+    s.expand.ntt += subs.ntt * n_subs;
+    s.expand.icrt += subs.icrt * n_subs;
+    s.expand.elem += subs.elem * n_subs;
+    KernelMults ext = externalProductMults(p);
+    double n_sel = static_cast<double>(p.d) * p.he.ellRgsw;
+    s.expand.ntt += ext.ntt * n_sel;
+    s.expand.icrt += ext.icrt * n_sel;
+    s.expand.elem += ext.elem * n_sel;
+
+    // RowSel: one GEMM MAC per DB word per ciphertext polynomial.
+    s.rowsel.gemm = 2.0 * static_cast<double>(p.numEntries()) *
+                    static_cast<double>(p.planes) * kn;
+
+    // ColTor: 2^d - 1 external products per plane.
+    double folds = static_cast<double>((u64{1} << p.d) - 1) * p.planes;
+    s.coltor.ntt = ext.ntt * folds;
+    s.coltor.icrt = ext.icrt * folds;
+    s.coltor.elem = ext.elem * folds;
+    return s;
+}
+
+} // namespace ive

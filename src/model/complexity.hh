@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Integer-mult complexity model (paper Fig. 4 and Fig. 7d).
+ *
+ * Counts the modular multiplications each PIR step performs per query,
+ * broken down by kernel class ((i)NTT, GEMM, (i)CRT, element-wise).
+ * The functional server's operation counters cross-validate these
+ * formulas in tests.
+ */
+
+#ifndef IVE_MODEL_COMPLEXITY_HH
+#define IVE_MODEL_COMPLEXITY_HH
+
+#include "pir/params.hh"
+
+namespace ive {
+
+/** Mults by kernel class. */
+struct KernelMults
+{
+    double ntt = 0.0;
+    double gemm = 0.0;
+    double icrt = 0.0;
+    double elem = 0.0;
+
+    double total() const { return ntt + gemm + icrt + elem; }
+    KernelMults &operator+=(const KernelMults &o);
+};
+
+struct StepComplexity
+{
+    KernelMults expand; ///< ExpandQuery incl. RGSW selector assembly.
+    KernelMults rowsel;
+    KernelMults coltor;
+
+    double
+    total() const
+    {
+        return expand.total() + rowsel.total() + coltor.total();
+    }
+    double expandShare() const { return expand.total() / total(); }
+    double rowselShare() const { return rowsel.total() / total(); }
+    double coltorShare() const { return coltor.total() / total(); }
+};
+
+/** Per-query mult counts for the given parameters. */
+StepComplexity complexity(const PirParams &params);
+
+/** Mults of one R_Q-polynomial NTT. */
+double nttMults(const PirParams &params);
+
+/** Mults of one Subs operation. */
+KernelMults subsMults(const PirParams &params);
+
+/** Mults of one external product. */
+KernelMults externalProductMults(const PirParams &params);
+
+/** Number of Subs ops ExpandQuery performs (pruned tree). */
+u64 expansionSubsCount(const PirParams &params);
+
+} // namespace ive
+
+#endif // IVE_MODEL_COMPLEXITY_HH

@@ -1,0 +1,99 @@
+#include "model/cost.hh"
+
+namespace ive {
+
+namespace {
+
+// Calibration constants (7nm, 1 GHz). With the default IveConfig these
+// reproduce Table II: sysNTTU 0.77 mm^2 / 2.17 W per core (2 units),
+// iCRTU 0.05/0.13, EWU 0.10/0.37, AutoU 0.07/0.11, RF & buffers
+// 1.38/1.63, core 2.91/5.12, 32 cores 93.1/163.8, NoC 2.6/6.7,
+// HBM 59.6/68.6, total 155.3/239.1.
+constexpr double kNttUnitArea = 0.3797;  // one NTT pipeline, special primes
+constexpr double kNttUnitWatts = 1.070;
+constexpr double kSysNttuOverhead = 1.014; // GEMM muxes (SVI-C: +1.4%)
+constexpr double kGemmArrayArea = 0.170;   // standalone 32x16 array
+constexpr double kGemmArrayWatts = 0.50;
+constexpr double kMaduArea = 0.050;        // ARK-style multiply-add unit
+constexpr double kMaduWatts = 0.180;
+constexpr double kIcrtuArea = 0.05, kIcrtuWatts = 0.13;
+constexpr double kEwuArea = 0.10, kEwuWatts = 0.37;
+constexpr double kAutouArea = 0.07, kAutouWatts = 0.11;
+constexpr double kSramAreaPerMiB = 0.2831; // 4.875 MiB -> 1.38 mm^2
+constexpr double kSramWattsPerMiB = 0.3344;
+constexpr double kOtherArea = 0.54, kOtherWatts = 0.71;
+constexpr double kNocAreaPerCore = 2.6 / 32, kNocWattsPerCore = 6.7 / 32;
+constexpr double kHbmArea = 59.6, kHbmWatts = 68.6;
+/** Generic-prime modular multipliers are 1/0.909 larger (SIV-G). */
+constexpr double kGenericPrimePenalty = 1.0 / 0.909;
+
+} // namespace
+
+ChipCost
+chipCost(const IveConfig &cfg)
+{
+    ChipCost c;
+    double mul = cfg.specialPrimes ? 1.0 : kGenericPrimePenalty;
+
+    // NTT / GEMM engines.
+    ComponentCost ntt_engines;
+    if (cfg.unifiedNttGemm) {
+        ntt_engines.name = "sysNTTU";
+        ntt_engines.areaMm2 = cfg.sysNttuPerCore * kNttUnitArea *
+                              kSysNttuOverhead * mul;
+        ntt_engines.watts = cfg.sysNttuPerCore * kNttUnitWatts *
+                            kSysNttuOverhead * mul;
+    } else {
+        // Separate NTT pipelines plus either standalone GEMM arrays of
+        // matching throughput (Base ablation) or MADUs (ARK-like).
+        ntt_engines.name = "NTTU+GEMM";
+        ntt_engines.areaMm2 = cfg.sysNttuPerCore * kNttUnitArea * mul;
+        ntt_engines.watts = cfg.sysNttuPerCore * kNttUnitWatts * mul;
+        if (cfg.maduGemmMacsPerCycle <= 128.0) {
+            int madus =
+                static_cast<int>(cfg.maduGemmMacsPerCycle / 64.0);
+            ntt_engines.areaMm2 += madus * kMaduArea * mul;
+            ntt_engines.watts += madus * kMaduWatts * mul;
+        } else {
+            ntt_engines.areaMm2 += cfg.sysNttuPerCore * kGemmArrayArea *
+                                   mul;
+            ntt_engines.watts += cfg.sysNttuPerCore * kGemmArrayWatts *
+                                 mul;
+        }
+    }
+    c.perCore.push_back(ntt_engines);
+
+    c.perCore.push_back({"iCRTU", kIcrtuArea * mul, kIcrtuWatts * mul});
+    c.perCore.push_back({"EWU", kEwuArea * mul, kEwuWatts * mul});
+    c.perCore.push_back({"AutoU", kAutouArea, kAutouWatts});
+
+    double sram_mib =
+        static_cast<double>(cfg.rfBytes + cfg.icrtBufBytes +
+                            cfg.dbBufBytes) /
+        (1024.0 * 1024.0);
+    c.perCore.push_back({"RF & buffers", sram_mib * kSramAreaPerMiB,
+                         sram_mib * kSramWattsPerMiB});
+    c.perCore.push_back({"other", kOtherArea, kOtherWatts});
+
+    for (const auto &comp : c.perCore) {
+        c.coreAreaMm2 += comp.areaMm2;
+        c.coreWatts += comp.watts;
+    }
+    c.coresAreaMm2 = c.coreAreaMm2 * cfg.cores;
+    c.coresWatts = c.coreWatts * cfg.cores;
+    c.nocAreaMm2 = kNocAreaPerCore * cfg.cores;
+    c.nocWatts = kNocWattsPerCore * cfg.cores;
+    c.hbmAreaMm2 = kHbmArea;
+    c.hbmWatts = kHbmWatts;
+    c.totalAreaMm2 = c.coresAreaMm2 + c.nocAreaMm2 + c.hbmAreaMm2;
+    c.totalWatts = c.coresWatts + c.nocWatts + c.hbmWatts;
+    return c;
+}
+
+double
+edap(double energy_j, double delay_s, double area_mm2)
+{
+    return energy_j * delay_s * area_mm2;
+}
+
+} // namespace ive

@@ -1,0 +1,123 @@
+#include "model/roofline.hh"
+
+#include <algorithm>
+
+#include "common/units.hh"
+
+namespace ive {
+
+namespace {
+
+constexpr double kGpuWordBytes = 4.0; // u32 residues on GPU
+
+struct GpuSizes
+{
+    double polyBytes;
+    double ctBytes;
+    double evkBytes;
+    double rgswBytes;
+    double dbBytes;
+    double perQueryState;
+};
+
+GpuSizes
+gpuSizes(const PirParams &p)
+{
+    double k = p.he.primes.empty() ? 4.0 : p.he.primes.size();
+    GpuSizes s;
+    s.polyBytes = k * p.he.n * kGpuWordBytes;
+    s.ctBytes = 2 * s.polyBytes;
+    s.evkBytes = p.he.ellKs * s.ctBytes;
+    s.rgswBytes = 2.0 * p.he.ellRgsw * s.ctBytes;
+    s.dbBytes = static_cast<double>(p.numEntries()) * p.planes *
+                s.polyBytes;
+    // Keys + expanded leaves + RowSel outputs (peak transient state).
+    s.perQueryState = p.expansionDepth() * s.evkBytes + s.rgswBytes +
+                      p.d0 * s.ctBytes +
+                      static_cast<double>(u64{1} << p.d) * s.ctBytes;
+    return s;
+}
+
+} // namespace
+
+GpuSpec
+GpuSpec::rtx4090()
+{
+    return {"RTX4090", 41.3e12, 939.0 * 1e9, 24 * GiB, 450.0, 0.55};
+}
+
+GpuSpec
+GpuSpec::h100()
+{
+    // Published peak INT32 throughput and HBM3 bandwidth (SXM).
+    return {"H100", 66.9e12, 3350.0 * 1e9, 80 * GiB, 700.0, 0.55};
+}
+
+int
+gpuMaxBatch(const PirParams &params, const GpuSpec &gpu)
+{
+    GpuSizes s = gpuSizes(params);
+    double free_bytes = static_cast<double>(gpu.memCapacity) - s.dbBytes;
+    if (free_bytes <= 0)
+        return 0;
+    int b = static_cast<int>(free_bytes / s.perQueryState);
+    return std::min(b, 64); // the paper's evaluation cap
+}
+
+GpuPirEstimate
+gpuEstimate(const PirParams &params, const GpuSpec &gpu, int batch)
+{
+    GpuPirEstimate est;
+    if (batch <= 0)
+        batch = gpuMaxBatch(params, gpu);
+    est.batch = batch;
+    if (batch == 0 || gpuMaxBatch(params, gpu) < batch) {
+        est.feasible = false;
+        return est;
+    }
+
+    GpuSizes s = gpuSizes(params);
+    StepComplexity c = complexity(params);
+
+    auto phase = [&](double mults_per_q, double bytes_per_batch) {
+        GpuPhase ph;
+        ph.mults = mults_per_q * batch;
+        ph.bytes = bytes_per_batch;
+        double eff = gpu.rooflineEfficiency;
+        double t_compute = ph.mults / (gpu.mulOpsPerSec * eff);
+        double t_mem = ph.bytes / (gpu.memBytesPerSec * eff);
+        ph.seconds = std::max(t_compute, t_mem);
+        ph.computeBound = t_compute >= t_mem;
+        return ph;
+    };
+
+    // ExpandQuery: evk per Subs plus ciphertext movement (per query).
+    double subs = static_cast<double>(expansionSubsCount(params));
+    double sel = static_cast<double>(params.d) * params.he.ellRgsw;
+    double expand_bytes_q = subs * (s.evkBytes + 3 * s.ctBytes) +
+                            sel * (s.rgswBytes + 3 * s.ctBytes);
+    est.expand = phase(c.expand.total(), expand_bytes_q * batch);
+
+    // RowSel: database streamed once per batch; queries and outputs
+    // per query.
+    double rowsel_bytes = s.dbBytes * params.planes +
+                          batch * (params.d0 * s.ctBytes +
+                                   static_cast<double>(u64{1} << params.d) *
+                                       s.ctBytes * params.planes);
+    est.rowsel = phase(c.rowsel.total(), rowsel_bytes);
+
+    // ColTor: selector + ciphertext traffic per external product.
+    double folds = static_cast<double>((u64{1} << params.d) - 1) *
+                   params.planes;
+    double coltor_bytes_q = folds * (s.rgswBytes / 4.0 + 3 * s.ctBytes);
+    est.coltor = phase(c.coltor.total(), coltor_bytes_q * batch);
+
+    est.latencySec =
+        est.expand.seconds + est.rowsel.seconds + est.coltor.seconds;
+    est.qps = batch / est.latencySec;
+    // Energy: device power at a calibrated activity factor.
+    est.energyPerQueryJ = est.latencySec * gpu.tdpWatts * 0.6 / batch;
+    return est;
+}
+
+} // namespace ive

@@ -1,0 +1,52 @@
+#include "modmath/modulus.hh"
+
+#include "common/bitops.hh"
+
+namespace ive {
+
+namespace {
+
+/** Computes floor(2^128 / q) as a 128-bit value via long division. */
+u128
+barrettFactor(u64 q)
+{
+    // 2^128 / q: divide (2^128 - 1) adjusting for remainder.
+    u128 num = ~u128{0}; // 2^128 - 1
+    u128 quot = num / q;
+    if (num % q == static_cast<u128>(q) - 1)
+        ++quot; // exact division of 2^128
+    return quot;
+}
+
+} // namespace
+
+Modulus::Modulus(u64 q) : q_(q), bits_(log2Floor(q) + 1)
+{
+    ive_assert(q > 1 && q < (u64{1} << 62));
+    u128 m = barrettFactor(q);
+    mHi_ = static_cast<u64>(m >> 64);
+    mLo_ = static_cast<u64>(m);
+}
+
+u64
+Modulus::pow(u64 a, u64 e) const
+{
+    u64 base = a >= q_ ? a % q_ : a;
+    u64 result = 1;
+    while (e > 0) {
+        if (e & 1)
+            result = mul(result, base);
+        base = mul(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+u64
+Modulus::inverse(u64 a) const
+{
+    ive_assert(a % q_ != 0);
+    return pow(a, q_ - 2);
+}
+
+} // namespace ive

@@ -1,0 +1,112 @@
+#include "modmath/primes.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "modmath/modulus.hh"
+
+namespace ive {
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2)
+        return false;
+    for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+    // Write n-1 = d * 2^r.
+    u64 d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    Modulus mod(n);
+    // This witness set is deterministic for all 64-bit integers.
+    for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        u64 x = mod.pow(a, d);
+        if (x == 1 || x == n - 1)
+            continue;
+        bool composite = true;
+        for (int i = 0; i < r - 1; ++i) {
+            x = mod.mul(x, x);
+            if (x == n - 1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+std::vector<u64>
+findNttPrimes(int bits, u64 n, int count)
+{
+    ive_assert(bits >= 10 && bits <= 61 && isPow2(n));
+    u64 step = 2 * n;
+    u64 candidate = (u64{1} << bits) + 1;
+    // Align to 1 mod 2n, scanning downward.
+    candidate -= ((candidate - 1) % step);
+    std::vector<u64> out;
+    while (static_cast<int>(out.size()) < count && candidate > step) {
+        if (isPrime(candidate))
+            out.push_back(candidate);
+        candidate -= step;
+    }
+    ive_assert(static_cast<int>(out.size()) == count);
+    return out;
+}
+
+u64
+primitiveRoot(u64 q)
+{
+    // Factor q-1 by trial division (moduli are small; 28-bit for IVE).
+    u64 n = q - 1;
+    std::vector<u64> factors;
+    u64 m = n;
+    for (u64 p = 2; p * p <= m; p += (p == 2 ? 1 : 2)) {
+        if (m % p == 0) {
+            factors.push_back(p);
+            while (m % p == 0)
+                m /= p;
+        }
+    }
+    if (m > 1)
+        factors.push_back(m);
+
+    Modulus mod(q);
+    for (u64 g = 2; g < q; ++g) {
+        bool ok = true;
+        for (u64 p : factors) {
+            if (mod.pow(g, n / p) == 1) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return g;
+    }
+    panic("no primitive root found for %llu",
+          static_cast<unsigned long long>(q));
+}
+
+u64
+rootOfUnity(u64 q, u64 two_n)
+{
+    ive_assert((q - 1) % two_n == 0);
+    Modulus mod(q);
+    u64 g = primitiveRoot(q);
+    u64 w = mod.pow(g, (q - 1) / two_n);
+    // w must have exact order 2n: w^n == -1.
+    ive_assert(mod.pow(w, two_n / 2) == q - 1);
+    return w;
+}
+
+} // namespace ive

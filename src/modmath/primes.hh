@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Prime tables and prime/root utilities for NTT-friendly moduli.
+ *
+ * IVE uses four Solinas-form special primes q = 2^27 + 2^k + 1 with
+ * k in {15, 17, 21, 22} (paper SIV-G). All satisfy q = 1 (mod 2N) for
+ * N = 2^12, so negacyclic NTTs of degree N exist.
+ */
+
+#ifndef IVE_MODMATH_PRIMES_HH
+#define IVE_MODMATH_PRIMES_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ive {
+
+/** The four IVE special primes 2^27 + 2^k + 1, k = 15, 17, 21, 22. */
+constexpr std::array<u64, 4> kIvePrimes = {
+    134250497, // 2^27 + 2^15 + 1
+    134348801, // 2^27 + 2^17 + 1
+    136314881, // 2^27 + 2^21 + 1
+    138412033, // 2^27 + 2^22 + 1
+};
+
+/** The k exponents matching kIvePrimes. */
+constexpr std::array<int, 4> kIvePrimeExponents = {15, 17, 21, 22};
+
+/** Deterministic Miller-Rabin primality test, valid for all u64. */
+bool isPrime(u64 n);
+
+/**
+ * Finds 'count' primes of roughly 'bits' bits congruent to 1 mod 2n
+ * (so degree-n negacyclic NTTs exist), scanning downward from 2^bits.
+ */
+std::vector<u64> findNttPrimes(int bits, u64 n, int count);
+
+/** Smallest generator of Z_q^* for prime q. */
+u64 primitiveRoot(u64 q);
+
+/** A primitive 2n-th root of unity mod prime q (requires 2n | q-1). */
+u64 rootOfUnity(u64 q, u64 two_n);
+
+} // namespace ive
+
+#endif // IVE_MODMATH_PRIMES_HH

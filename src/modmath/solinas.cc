@@ -1,0 +1,69 @@
+#include "modmath/solinas.hh"
+
+#include "common/logging.hh"
+
+namespace ive {
+
+bool
+isSolinas27(u64 q, int *k_out)
+{
+    for (int k = 1; k < 27; ++k) {
+        if (q == (u64{1} << 27) + (u64{1} << k) + 1) {
+            if (k_out)
+                *k_out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+SolinasReducer::SolinasReducer(u64 q, int k) : q_(q), k_(k)
+{
+    ive_assert(q == (u64{1} << 27) + (u64{1} << k) + 1);
+    ive_assert(k > 0 && k < 27);
+}
+
+u64
+SolinasReducer::reduce(u64 x) const
+{
+    // Fold with 2^27 == -(2^k + 1) (mod q) on a signed accumulator
+    // until the value fits in 34 bits, then clean up.
+    i64 r = static_cast<i64>(x);
+    while (r >= (i64{1} << 34) || r <= -(i64{1} << 34)) {
+        // Arithmetic shift implements floor division by 2^27 for the
+        // fold even when r is negative.
+        i64 hi = r >> 27;
+        i64 lo = r - (hi << 27);
+        r = lo - (hi << k_) - hi;
+    }
+    i64 m = r % static_cast<i64>(q_);
+    if (m < 0)
+        m += static_cast<i64>(q_);
+    return static_cast<u64>(m);
+}
+
+u64
+SolinasReducer::mul(u64 a, u64 b) const
+{
+    ive_assert(a < q_ && b < q_);
+    // q < 2^28 so the product fits comfortably in 56 bits.
+    return reduce(a * b);
+}
+
+int
+SolinasReducer::foldRounds(int max_bits) const
+{
+    // Each fold maps a b-bit value to roughly max(34, b - (27 - k) + 1)
+    // bits; count rounds until the residual fits 34 bits.
+    int rounds = 0;
+    int bits = max_bits;
+    while (bits > 34) {
+        bits = bits - 27 + k_ + 1;
+        if (bits < 34)
+            bits = 34;
+        ++rounds;
+    }
+    return rounds;
+}
+
+} // namespace ive

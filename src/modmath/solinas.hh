@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reduction for IVE's Solinas-form special primes q = 2^27 + 2^k + 1.
+ *
+ * Because 2^27 = -(2^k + 1) (mod q), a wide product can be folded with
+ * shifts and adds instead of a general multiplier. The paper (SIV-G)
+ * reports this shrinks a Montgomery-based modular-mult circuit by 9.1%;
+ * the area model (model/cost.hh) credits that saving. This class is the
+ * software witness that the folding identity is correct.
+ */
+
+#ifndef IVE_MODMATH_SOLINAS_HH
+#define IVE_MODMATH_SOLINAS_HH
+
+#include "common/types.hh"
+
+namespace ive {
+
+class SolinasReducer
+{
+  public:
+    /** q must equal 2^27 + 2^k + 1 with 0 < k < 27. */
+    SolinasReducer(u64 q, int k);
+
+    u64 value() const { return q_; }
+    int exponent() const { return k_; }
+
+    /**
+     * Reduces x < 2^63 modulo q using only shift/add folding, plus a
+     * final conditional-subtract cleanup. Returns x mod q.
+     */
+    u64 reduce(u64 x) const;
+
+    /** a * b mod q through the folding reduction (a, b < q). */
+    u64 mul(u64 a, u64 b) const;
+
+    /**
+     * Number of shift/add folding rounds reduce() performs for inputs
+     * up to maxBits bits; used by the area/energy model to size the
+     * reduction tree.
+     */
+    int foldRounds(int max_bits) const;
+
+  private:
+    u64 q_;
+    int k_;
+};
+
+/** True when q has the Solinas form 2^27 + 2^k + 1 for some 0 < k < 27. */
+bool isSolinas27(u64 q, int *k_out = nullptr);
+
+} // namespace ive
+
+#endif // IVE_MODMATH_SOLINAS_HH

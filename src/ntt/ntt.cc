@@ -1,0 +1,97 @@
+#include "ntt/ntt.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "modmath/primes.hh"
+
+namespace ive {
+
+NttTable::NttTable(u64 q, u64 n) : mod_(q), n_(n), logN_(log2Exact(n))
+{
+    ive_assert(isPow2(n) && n >= 4);
+    ive_assert((q - 1) % (2 * n) == 0);
+
+    psi_ = rootOfUnity(q, 2 * n);
+    u64 psi_inv = mod_.inverse(psi_);
+
+    fwd_.resize(n);
+    fwdShoup_.resize(n);
+    inv_.resize(n);
+    invShoup_.resize(n);
+
+    // Powers of psi stored in bit-reversed index order: table[i] holds
+    // psi^{bitrev(i)}. Both butterfly loops below index the tables so
+    // that entry (m + i) is the twiddle for block i at stage width m.
+    u64 acc = 1;
+    std::vector<u64> pow_fwd(n), pow_inv(n);
+    u64 acc_inv = 1;
+    for (u64 i = 0; i < n; ++i) {
+        pow_fwd[i] = acc;
+        pow_inv[i] = acc_inv;
+        acc = mod_.mul(acc, psi_);
+        acc_inv = mod_.mul(acc_inv, psi_inv);
+    }
+    for (u64 i = 0; i < n; ++i) {
+        u64 r = bitReverse(static_cast<u32>(i), logN_);
+        fwd_[i] = pow_fwd[r];
+        inv_[i] = pow_inv[r];
+        fwdShoup_[i] = mod_.shoupPrecompute(fwd_[i]);
+        invShoup_[i] = mod_.shoupPrecompute(inv_[i]);
+    }
+
+    nInv_ = mod_.inverse(n % q);
+    nInvShoup_ = mod_.shoupPrecompute(nInv_);
+}
+
+void
+NttTable::forward(std::span<u64> a) const
+{
+    ive_assert(a.size() == n_);
+    u64 q = mod_.value();
+    u64 t = n_;
+    for (u64 m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (u64 i = 0; i < m; ++i) {
+            u64 j1 = 2 * i * t;
+            u64 w = fwd_[m + i];
+            u64 ws = fwdShoup_[m + i];
+            for (u64 j = j1; j < j1 + t; ++j) {
+                u64 x = a[j];
+                u64 y = mod_.mulShoup(a[j + t], w, ws);
+                u64 s = x + y;
+                a[j] = s >= q ? s - q : s;
+                a[j + t] = x >= y ? x - y : x + q - y;
+            }
+        }
+    }
+}
+
+void
+NttTable::inverse(std::span<u64> a) const
+{
+    ive_assert(a.size() == n_);
+    u64 q = mod_.value();
+    u64 t = 1;
+    for (u64 m = n_; m > 1; m >>= 1) {
+        u64 j1 = 0;
+        u64 h = m >> 1;
+        for (u64 i = 0; i < h; ++i) {
+            u64 w = inv_[h + i];
+            u64 ws = invShoup_[h + i];
+            for (u64 j = j1; j < j1 + t; ++j) {
+                u64 x = a[j];
+                u64 y = a[j + t];
+                u64 s = x + y;
+                a[j] = s >= q ? s - q : s;
+                u64 d = x >= y ? x - y : x + q - y;
+                a[j + t] = mod_.mulShoup(d, w, ws);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (u64 j = 0; j < n_; ++j)
+        a[j] = mod_.mulShoup(a[j], nInv_, nInvShoup_);
+}
+
+} // namespace ive

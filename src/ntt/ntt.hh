@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Negacyclic number-theoretic transform over one RNS prime.
+ *
+ * The transform maps a length-n coefficient vector of a polynomial in
+ * Z_q[X]/(X^n + 1) to its evaluations at the odd powers of a primitive
+ * 2n-th root of unity, so polynomial multiplication becomes an
+ * element-wise product (paper SII-B). Implementation follows the
+ * standard merged-twist Cooley-Tukey / Gentleman-Sande butterflies with
+ * Shoup-precomputed twiddles.
+ */
+
+#ifndef IVE_NTT_NTT_HH
+#define IVE_NTT_NTT_HH
+
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+#include "modmath/modulus.hh"
+
+namespace ive {
+
+class NttTable
+{
+  public:
+    /** Builds twiddle tables for degree n (power of two) mod prime q. */
+    NttTable(u64 q, u64 n);
+
+    u64 n() const { return n_; }
+    const Modulus &modulus() const { return mod_; }
+
+    /** In-place forward negacyclic NTT (coefficients -> evaluations). */
+    void forward(std::span<u64> a) const;
+
+    /** In-place inverse negacyclic NTT (evaluations -> coefficients). */
+    void inverse(std::span<u64> a) const;
+
+    /** Count of modular mults one forward transform performs. */
+    u64 multCount() const { return n_ / 2 * logN_; }
+
+  private:
+    Modulus mod_;
+    u64 n_;
+    int logN_;
+    u64 psi_;    ///< Primitive 2n-th root of unity.
+
+    // Twiddles in bit-reversed order, with Shoup companions.
+    std::vector<u64> fwd_;
+    std::vector<u64> fwdShoup_;
+    std::vector<u64> inv_;
+    std::vector<u64> invShoup_;
+    u64 nInv_;
+    u64 nInvShoup_;
+};
+
+} // namespace ive
+
+#endif // IVE_NTT_NTT_HH

@@ -1,0 +1,90 @@
+#include "pir/batch.hh"
+
+#include <chrono>
+
+namespace ive {
+
+namespace {
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+std::vector<BfvCiphertext>
+processBatch(const PirServer &server, const std::vector<PirQuery> &queries,
+             int plane)
+{
+    std::vector<BfvCiphertext> responses;
+    responses.reserve(queries.size());
+    for (const auto &q : queries)
+        responses.push_back(server.process(q, plane));
+    return responses;
+}
+
+CpuPhaseTimes
+measureCpuQuery(const PirServer &server, const PirQuery &query)
+{
+    CpuPhaseTimes t;
+
+    double t0 = now();
+    std::vector<BfvCiphertext> leaves = server.expandQuery(query);
+    double t1 = now();
+    std::vector<RgswCiphertext> selectors = server.buildSelectors(leaves);
+    double t2 = now();
+    std::vector<BfvCiphertext> entries = server.rowSel(leaves);
+    double t3 = now();
+    BfvCiphertext resp = server.colTor(std::move(entries), selectors);
+    double t4 = now();
+    (void)resp;
+
+    t.expandSec = t1 - t0;
+    t.selectorSec = t2 - t1;
+    t.rowselSec = t3 - t2;
+    t.coltorSec = t4 - t3;
+    return t;
+}
+
+CpuPhaseTimes
+extrapolateCpu(const CpuPhaseTimes &measured,
+               const PirParams &measured_params,
+               const PirParams &target_params, double core_scale)
+{
+    auto ratio = [](double target, double base) {
+        return base > 0 ? target / base : 0.0;
+    };
+
+    double entries_r =
+        ratio(static_cast<double>(target_params.numEntries()) *
+                  target_params.planes,
+              static_cast<double>(measured_params.numEntries()) *
+                  measured_params.planes);
+    double folds_r =
+        ratio(static_cast<double>((u64{1} << target_params.d) - 1) *
+                  target_params.planes,
+              static_cast<double>((u64{1} << measured_params.d) - 1) *
+                  measured_params.planes);
+    double expand_r =
+        ratio(static_cast<double>(u64{1} << target_params.expansionDepth()),
+              static_cast<double>(u64{1}
+                                  << measured_params.expansionDepth()));
+    double sel_r = ratio(static_cast<double>(target_params.d) *
+                             target_params.he.ellRgsw,
+                         static_cast<double>(measured_params.d) *
+                             measured_params.he.ellRgsw);
+
+    CpuPhaseTimes out;
+    out.expandSec = measured.expandSec * expand_r / core_scale;
+    out.selectorSec = measured.selectorSec * sel_r / core_scale;
+    out.rowselSec = measured.rowselSec * entries_r / core_scale;
+    out.coltorSec = measured.coltorSec * folds_r / core_scale;
+    return out;
+}
+
+} // namespace ive

@@ -1,0 +1,77 @@
+#include "pir/database.hh"
+
+#include "common/logging.hh"
+
+namespace ive {
+
+Database::Database(const HeContext &ctx, const PirParams &params)
+    : ctx_(ctx), params_(params)
+{
+    params_.validate();
+    entries_.resize(params_.numEntries() *
+                    static_cast<u64>(params_.planes));
+}
+
+void
+Database::fill(const Generator &gen)
+{
+    for (int plane = 0; plane < params_.planes; ++plane) {
+        for (u64 e = 0; e < params_.numEntries(); ++e) {
+            std::vector<u64> coeffs = gen(e, plane);
+            setEntry(e, plane, coeffs);
+        }
+    }
+}
+
+Database
+Database::random(const HeContext &ctx, const PirParams &params, u64 seed)
+{
+    Database db(ctx, params);
+    Rng rng(seed);
+    std::vector<u64> coeffs(ctx.n());
+    for (int plane = 0; plane < params.planes; ++plane) {
+        for (u64 e = 0; e < params.numEntries(); ++e) {
+            for (auto &c : coeffs)
+                c = rng.uniform(ctx.plainModulus());
+            db.setEntry(e, plane, coeffs);
+        }
+    }
+    return db;
+}
+
+void
+Database::setEntry(u64 entry, int plane, std::span<const u64> coeffs)
+{
+    ive_assert(entry < params_.numEntries());
+    ive_assert(plane < params_.planes);
+    ive_assert(coeffs.size() == ctx_.n());
+    entries_[static_cast<u64>(plane) * params_.numEntries() + entry] =
+        liftPlain(ctx_, coeffs);
+}
+
+const RnsPoly &
+Database::entry(u64 entry, int plane) const
+{
+    ive_assert(entry < params_.numEntries());
+    ive_assert(plane < params_.planes);
+    return entries_[static_cast<u64>(plane) * params_.numEntries() +
+                    entry];
+}
+
+std::vector<u64>
+Database::entryCoeffs(u64 entry, int plane) const
+{
+    const Ring &ring = ctx_.ring();
+    RnsPoly p = this->entry(entry, plane);
+    p.fromNtt(ring);
+    std::vector<u64> out(ring.n);
+    std::vector<u64> res(ring.k());
+    for (u64 i = 0; i < ring.n; ++i) {
+        p.coeffResidues(i, res);
+        // Raw values are < P << Q, so iCRT recovers them exactly.
+        out[i] = static_cast<u64>(ring.base.fromRns(res));
+    }
+    return out;
+}
+
+} // namespace ive

@@ -1,0 +1,86 @@
+#include "pir/params.hh"
+
+#include "common/logging.hh"
+
+namespace ive {
+
+void
+PirParams::validate() const
+{
+    if (!isPow2(d0))
+        fatal("D0 must be a power of two (got %llu)",
+              static_cast<unsigned long long>(d0));
+    if (d < 0 || d > 40)
+        fatal("dimension count d out of range: %d", d);
+    if (planes < 1)
+        fatal("planes must be >= 1");
+    if (!isPow2(he.plainModulus))
+        fatal("plaintext modulus must be a power of two");
+    if (usedLeaves() > he.n)
+        fatal("query does not fit one ring element: D0 + d*l = %llu > "
+              "N = %llu",
+              static_cast<unsigned long long>(usedLeaves()),
+              static_cast<unsigned long long>(he.n));
+    if ((u64{1} << expansionDepth()) > he.n)
+        fatal("expansion depth exceeds ring degree");
+}
+
+PirParams
+PirParams::functionalDefault()
+{
+    PirParams p;
+    p.he.n = 4096;
+    p.he.plainModulus = u64{1} << 32;
+    p.he.logZKs = 13;
+    p.he.ellKs = 9;
+    p.he.logZRgsw = 14;
+    p.he.ellRgsw = 8;
+    p.d0 = 256;
+    p.d = 8;
+    return p;
+}
+
+PirParams
+PirParams::testSmall()
+{
+    PirParams p;
+    p.he.n = 1024;
+    p.he.plainModulus = u64{1} << 32;
+    p.he.logZKs = 13;
+    p.he.ellKs = 9;
+    p.he.logZRgsw = 14;
+    p.he.ellRgsw = 8;
+    p.d0 = 16;
+    p.d = 2;
+    return p;
+}
+
+PirParams
+PirParams::paperPerf(u64 db_bytes, u64 d0)
+{
+    PirParams p;
+    p.he.n = 4096;
+    p.he.plainModulus = u64{1} << 32;
+    p.he.logZKs = 22;
+    p.he.ellKs = 5;
+    p.he.logZRgsw = 22;
+    p.he.ellRgsw = 5;
+    p.d0 = d0;
+    u64 entries = divCeil(db_bytes, p.bytesPerPlaintext());
+    u64 folded = divCeil(entries, d0);
+    p.d = log2Ceil(folded == 0 ? 1 : folded);
+    return p;
+}
+
+PirParams
+PirParams::forDbSize(u64 db_bytes, u64 d0)
+{
+    PirParams p = functionalDefault();
+    p.d0 = d0;
+    u64 entries = divCeil(db_bytes, p.bytesPerPlaintext());
+    u64 folded = divCeil(entries, d0);
+    p.d = log2Ceil(folded == 0 ? 1 : folded);
+    return p;
+}
+
+} // namespace ive

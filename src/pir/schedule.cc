@@ -1,0 +1,214 @@
+#include "pir/schedule.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace ive {
+
+std::string
+ScheduleConfig::name() const
+{
+    switch (kind) {
+      case ScheduleKind::BFS:
+        return "BFS";
+      case ScheduleKind::DFS:
+        return "DFS";
+      case ScheduleKind::HS:
+        return subtreeDfs ? "HS(w/DFS)" : "HS(w/BFS)";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Emits ops reducing level-lo descendants of node (hi, j), DFS. */
+void
+dfsReduce(int lo, int hi, u64 j, std::vector<TreeOp> &out)
+{
+    if (hi == lo)
+        return;
+    dfsReduce(lo, hi - 1, 2 * j, out);
+    dfsReduce(lo, hi - 1, 2 * j + 1, out);
+    out.push_back({hi - 1, j});
+}
+
+/** Emits ops reducing the subtree below (hi, j) level by level. */
+void
+bfsReduce(int lo, int hi, u64 j, std::vector<TreeOp> &out)
+{
+    for (int t = lo; t < hi; ++t) {
+        // Level-(t+1) descendants of (hi, j): indices j << (hi-t-1)...
+        u64 width = u64{1} << (hi - t - 1);
+        for (u64 m = 0; m < width; ++m)
+            out.push_back({t, (j << (hi - t - 1)) + m});
+    }
+}
+
+/** Expansion DFS below node (lo, j) down to level hi (pre-order). */
+void
+dfsExpand(int lo, int hi, u64 j, std::vector<TreeOp> &out)
+{
+    if (lo == hi)
+        return;
+    out.push_back({lo, j});
+    dfsExpand(lo + 1, hi, j, out);
+    dfsExpand(lo + 1, hi, j + (u64{1} << lo), out);
+}
+
+/** Expansion BFS below node (lo, j) down to level hi. */
+void
+bfsExpand(int lo, int hi, u64 j, std::vector<TreeOp> &out)
+{
+    for (int t = lo; t < hi; ++t) {
+        u64 width = u64{1} << (t - lo);
+        for (u64 m = 0; m < width; ++m)
+            out.push_back({t, j + (m << lo)});
+    }
+}
+
+} // namespace
+
+std::vector<TreeOp>
+makeReductionSchedule(int depth_total, const ScheduleConfig &cfg)
+{
+    ive_assert(depth_total >= 0 && depth_total <= 40);
+    std::vector<TreeOp> out;
+    if (depth_total == 0)
+        return out;
+    out.reserve((u64{1} << depth_total) - 1);
+
+    switch (cfg.kind) {
+      case ScheduleKind::BFS:
+        bfsReduce(0, depth_total, 0, out);
+        break;
+      case ScheduleKind::DFS:
+        dfsReduce(0, depth_total, 0, out);
+        break;
+      case ScheduleKind::HS: {
+        int h = cfg.subtreeDepth > 0 ? cfg.subtreeDepth : 1;
+        for (int lo = 0; lo < depth_total; lo += h) {
+            int hi = std::min(lo + h, depth_total);
+            u64 roots = u64{1} << (depth_total - hi);
+            for (u64 j = 0; j < roots; ++j) {
+                if (cfg.subtreeDfs)
+                    dfsReduce(lo, hi, j, out);
+                else
+                    bfsReduce(lo, hi, j, out);
+            }
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+std::vector<TreeOp>
+makeExpansionSchedule(int depth_total, const ScheduleConfig &cfg)
+{
+    ive_assert(depth_total >= 0 && depth_total <= 40);
+    std::vector<TreeOp> out;
+    if (depth_total == 0)
+        return out;
+    out.reserve((u64{1} << depth_total) - 1);
+
+    switch (cfg.kind) {
+      case ScheduleKind::BFS:
+        bfsExpand(0, depth_total, 0, out);
+        break;
+      case ScheduleKind::DFS:
+        dfsExpand(0, depth_total, 0, out);
+        break;
+      case ScheduleKind::HS: {
+        int h = cfg.subtreeDepth > 0 ? cfg.subtreeDepth : 1;
+        for (int lo = 0; lo < depth_total; lo += h) {
+            int hi = std::min(lo + h, depth_total);
+            u64 roots = u64{1} << lo;
+            for (u64 j = 0; j < roots; ++j) {
+                if (cfg.subtreeDfs)
+                    dfsExpand(lo, hi, j, out);
+                else
+                    bfsExpand(lo, hi, j, out);
+            }
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+bool
+validateReductionSchedule(int depth_total, const std::vector<TreeOp> &ops)
+{
+    u64 expected = (u64{1} << depth_total) - 1;
+    if (ops.size() != expected)
+        return false;
+    // ready[t] tracks availability of level-t nodes (bitset per level).
+    std::vector<std::vector<bool>> ready(depth_total + 1);
+    for (int t = 0; t <= depth_total; ++t)
+        ready[t].assign(u64{1} << (depth_total - t), t == 0);
+    for (const auto &op : ops) {
+        if (op.depth < 0 || op.depth >= depth_total)
+            return false;
+        u64 j = op.index;
+        if (j >= (u64{1} << (depth_total - op.depth - 1)))
+            return false;
+        if (!ready[op.depth][2 * j] || !ready[op.depth][2 * j + 1])
+            return false;
+        if (ready[op.depth + 1][j])
+            return false; // duplicate op
+        ready[op.depth + 1][j] = true;
+    }
+    return ready[depth_total][0];
+}
+
+bool
+validateExpansionSchedule(int depth_total, const std::vector<TreeOp> &ops)
+{
+    u64 expected = (u64{1} << depth_total) - 1;
+    if (ops.size() != expected)
+        return false;
+    std::vector<std::vector<bool>> ready(depth_total + 1);
+    for (int t = 0; t <= depth_total; ++t)
+        ready[t].assign(u64{1} << t, t == 0);
+    for (const auto &op : ops) {
+        if (op.depth < 0 || op.depth >= depth_total)
+            return false;
+        u64 j = op.index;
+        if (j >= (u64{1} << op.depth))
+            return false;
+        if (!ready[op.depth][j])
+            return false;
+        u64 c0 = j;
+        u64 c1 = j + (u64{1} << op.depth);
+        if (ready[op.depth + 1][c0] || ready[op.depth + 1][c1])
+            return false; // duplicate op
+        ready[op.depth + 1][c0] = true;
+        ready[op.depth + 1][c1] = true;
+    }
+    for (bool leaf : ready[depth_total]) {
+        if (!leaf)
+            return false;
+    }
+    return true;
+}
+
+int
+maxSubtreeDepth(u64 capacity_bytes, u64 selector_bytes, u64 ct_bytes,
+                bool subtree_dfs, u64 dcp_temp_bytes)
+{
+    int best = 0;
+    for (int h = 1; h <= 30; ++h) {
+        u64 need = static_cast<u64>(h) * selector_bytes + dcp_temp_bytes;
+        if (subtree_dfs) {
+            need += static_cast<u64>(h + 1) * ct_bytes;
+        } else {
+            need += (u64{1} << (h - 1)) * ct_bytes;
+        }
+        if (need > capacity_bytes)
+            break;
+        best = h;
+    }
+    return best;
+}
+
+} // namespace ive

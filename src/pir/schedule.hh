@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Operation schedules for the binary trees of ExpandQuery and ColTor
+ * (paper SIV-A, Fig. 7).
+ *
+ * Both steps walk a binary tree: ColTor reduces 2^d leaves to a root;
+ * ExpandQuery is its mirror image (one root expands to 2^L leaves).
+ * The *order* in which tree nodes are processed does not change the
+ * result, but determines the DRAM traffic for client-specific data:
+ *
+ *  - BFS maximizes reuse of the per-depth selector (ct_RGSW / evk) but
+ *    spills a whole tree level of intermediate ct_BFV per depth.
+ *  - DFS keeps intermediates on chip but touches a different selector
+ *    at every depth along the walk.
+ *  - Hierarchical search (HS) partitions the tree into subtrees whose
+ *    working set fits on chip, getting both reuses at once. Within a
+ *    subtree either BFS or DFS is used; DFS has the smaller working
+ *    set, permitting deeper subtrees (the paper's preferred variant).
+ *
+ * A schedule is a sequence of TreeOps; sim/traffic.cc replays it
+ * against a scratchpad model to count DRAM bytes (Fig. 8), and the
+ * functional server can execute ColTor in schedule order to prove
+ * order-invariance.
+ */
+
+#ifndef IVE_PIR_SCHEDULE_HH
+#define IVE_PIR_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ive {
+
+/**
+ * One binary-tree node operation.
+ *
+ * Reduction (ColTor): depth t in [0, d) combines entries
+ * e[(j << (t+1))] and e[(j << (t+1)) + (1 << t)] into the former, using
+ * selector t. Expansion (ExpandQuery): depth t expands node j of level
+ * t into children j and j + 2^t of level t+1, using evk_t.
+ */
+struct TreeOp
+{
+    int depth;
+    u64 index;
+
+    bool operator==(const TreeOp &o) const = default;
+};
+
+enum class ScheduleKind { BFS, DFS, HS };
+
+struct ScheduleConfig
+{
+    ScheduleKind kind = ScheduleKind::HS;
+    /** Subtree traversal inside HS; ignored for plain BFS/DFS. */
+    bool subtreeDfs = true;
+    /** HS subtree depth; <= 0 lets the caller pick via capacity. */
+    int subtreeDepth = 3;
+
+    std::string name() const;
+};
+
+/**
+ * Schedule for reducing 2^depth_total leaves (ColTor). Ops appear in
+ * execution order; every parent follows both children.
+ */
+std::vector<TreeOp> makeReductionSchedule(int depth_total,
+                                          const ScheduleConfig &cfg);
+
+/**
+ * Schedule for expanding one root into 2^depth_total leaves
+ * (ExpandQuery). Every child-producing op follows the op that produced
+ * its input.
+ */
+std::vector<TreeOp> makeExpansionSchedule(int depth_total,
+                                          const ScheduleConfig &cfg);
+
+/** Checks op count and dependency order of a reduction schedule. */
+bool validateReductionSchedule(int depth_total,
+                               const std::vector<TreeOp> &ops);
+
+/** Checks op count and dependency order of an expansion schedule. */
+bool validateExpansionSchedule(int depth_total,
+                               const std::vector<TreeOp> &ops);
+
+/**
+ * Largest HS subtree depth whose ColTor working set fits `capacity`
+ * bytes (paper SIV-A formulas):
+ *   BFS subtree: depth*selector + 2^(depth-1)*ct
+ *   DFS subtree: depth*selector + (depth+1)*ct
+ * Without reduction overlapping, Dcp temporarily needs dcpTemp more
+ * bytes, shrinking the budget.
+ */
+int maxSubtreeDepth(u64 capacity_bytes, u64 selector_bytes, u64 ct_bytes,
+                    bool subtree_dfs, u64 dcp_temp_bytes);
+
+} // namespace ive
+
+#endif // IVE_PIR_SCHEDULE_HH

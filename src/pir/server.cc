@@ -1,0 +1,193 @@
+#include "pir/server.hh"
+
+#include "common/logging.hh"
+
+namespace ive {
+
+PirServer::PirServer(const HeContext &ctx, const PirParams &params,
+                     const Database *db, PirPublicKeys keys)
+    : ctx_(ctx), params_(params), db_(db), keys_(std::move(keys))
+{
+    params_.validate();
+    ive_assert(db_ != nullptr);
+    ive_assert(static_cast<int>(keys_.evks.size()) >=
+               params_.expansionDepth());
+    for (int t = 0; t < params_.expansionDepth(); ++t) {
+        monomials_.push_back(RnsPoly::monomialNtt(
+            ctx_.ring(), -static_cast<i64>(u64{1} << t)));
+    }
+}
+
+std::vector<BfvCiphertext>
+PirServer::expandQuery(const PirQuery &query) const
+{
+    int depth = params_.expansionDepth();
+    u64 used = params_.usedLeaves();
+
+    // Level-order expansion with pruning: a node with path index idx at
+    // level t covers coefficients congruent to idx mod 2^t; it is
+    // needed iff idx < usedLeaves.
+    struct Node
+    {
+        BfvCiphertext ct;
+        u64 idx;
+    };
+    std::vector<Node> nodes;
+    nodes.push_back({query.ct, 0});
+
+    for (int t = 0; t < depth; ++t) {
+        std::vector<Node> next;
+        next.reserve(2 * nodes.size());
+        for (auto &node : nodes) {
+            BfvCiphertext rotated = subs(ctx_, node.ct, keys_.evks[t]);
+            ++counters_.subsOps;
+
+            // Even branch: ct + Subs(ct, N/2^t + 1).
+            BfvCiphertext even = node.ct;
+            addInPlace(ctx_, even, rotated);
+
+            u64 odd_idx = node.idx + (u64{1} << t);
+            if (odd_idx < used) {
+                // Odd branch: X^{-2^t} * (ct - Subs(ct, r)).
+                BfvCiphertext odd = node.ct;
+                subInPlace(ctx_, odd, rotated);
+                monomialMulInPlace(ctx_, odd, monomials_[t]);
+                next.push_back({std::move(odd), odd_idx});
+            }
+            next.push_back({std::move(even), node.idx});
+        }
+        nodes = std::move(next);
+    }
+
+    std::vector<BfvCiphertext> leaves(used);
+    for (auto &node : nodes) {
+        ive_assert(node.idx < used);
+        leaves[node.idx] = std::move(node.ct);
+    }
+    return leaves;
+}
+
+std::vector<RgswCiphertext>
+PirServer::buildSelectors(const std::vector<BfvCiphertext> &leaves) const
+{
+    const Gadget &g = ctx_.gadgetRgsw();
+    int ell = g.ell();
+
+    std::vector<RgswCiphertext> selectors;
+    selectors.reserve(params_.d);
+    for (int t = 0; t < params_.d; ++t) {
+        RgswCiphertext sel;
+        sel.ell = ell;
+        sel.rows.resize(2 * ell);
+        for (int k = 0; k < ell; ++k) {
+            const BfvCiphertext &leaf =
+                leaves[params_.d0 + static_cast<u64>(t) * ell + k];
+            // b-side row: the leaf's phase is bit * z^k already.
+            sel.rows[ell + k] = leaf;
+            // a-side row: needs phase bit * z^k * s; external product
+            // with RGSW(s) multiplies the phase by s.
+            sel.rows[k] =
+                externalProduct(ctx_, keys_.rgswOfSecret, leaf);
+            ++counters_.externalProducts;
+        }
+        selectors.push_back(std::move(sel));
+    }
+    return selectors;
+}
+
+std::vector<BfvCiphertext>
+PirServer::rowSel(const std::vector<BfvCiphertext> &leaves,
+                  int plane) const
+{
+    ive_assert(leaves.size() >= params_.d0);
+    u64 cols = u64{1} << params_.d;
+
+    std::vector<BfvCiphertext> out(cols);
+    for (u64 r = 0; r < cols; ++r) {
+        BfvCiphertext acc;
+        acc.a = RnsPoly(ctx_.ring(), Domain::Ntt);
+        acc.b = RnsPoly(ctx_.ring(), Domain::Ntt);
+        for (u64 i = 0; i < params_.d0; ++i) {
+            plainMulAcc(ctx_, acc, db_->entry(r * params_.d0 + i, plane),
+                        leaves[i]);
+            ++counters_.plainMulAccs;
+        }
+        out[r] = std::move(acc);
+    }
+    return out;
+}
+
+BfvCiphertext
+PirServer::foldPair(const BfvCiphertext &e0, const BfvCiphertext &e1,
+                    const RgswCiphertext &sel) const
+{
+    // Z = X + bit * (Y - X): bit = 0 keeps the even entry.
+    BfvCiphertext diff = e1;
+    subInPlace(ctx_, diff, e0);
+    BfvCiphertext z = externalProduct(ctx_, sel, diff);
+    ++counters_.externalProducts;
+    addInPlace(ctx_, z, e0);
+    return z;
+}
+
+BfvCiphertext
+PirServer::colTor(std::vector<BfvCiphertext> entries,
+                  const std::vector<RgswCiphertext> &sel) const
+{
+    ive_assert(entries.size() == (u64{1} << params_.d));
+    ive_assert(static_cast<int>(sel.size()) == params_.d);
+
+    // In-place tournament, paper Fig. 7 (ColTorBFS): at depth t the
+    // stride is s = 2^t and e[2sj] <- fold(e[2sj], e[2sj + s]).
+    for (int t = 0; t < params_.d; ++t) {
+        u64 s = u64{1} << t;
+        u64 num = u64{1} << (params_.d - t - 1);
+        for (u64 j = 0; j < num; ++j) {
+            entries[2 * s * j] = foldPair(entries[2 * s * j],
+                                          entries[2 * s * j + s],
+                                          sel[t]);
+        }
+    }
+    return entries[0];
+}
+
+BfvCiphertext
+PirServer::colTorScheduled(std::vector<BfvCiphertext> entries,
+                           const std::vector<RgswCiphertext> &sel,
+                           const std::vector<TreeOp> &schedule) const
+{
+    ive_assert(entries.size() == (u64{1} << params_.d));
+    ive_assert(validateReductionSchedule(params_.d, schedule));
+    for (const auto &op : schedule) {
+        u64 s = u64{1} << op.depth;
+        u64 base = 2 * s * op.index;
+        entries[base] =
+            foldPair(entries[base], entries[base + s], sel[op.depth]);
+    }
+    return entries[0];
+}
+
+BfvCiphertext
+PirServer::process(const PirQuery &query, int plane) const
+{
+    std::vector<BfvCiphertext> leaves = expandQuery(query);
+    std::vector<RgswCiphertext> selectors = buildSelectors(leaves);
+    std::vector<BfvCiphertext> entries = rowSel(leaves, plane);
+    return colTor(std::move(entries), selectors);
+}
+
+std::vector<BfvCiphertext>
+PirServer::processAllPlanes(const PirQuery &query) const
+{
+    std::vector<BfvCiphertext> leaves = expandQuery(query);
+    std::vector<RgswCiphertext> selectors = buildSelectors(leaves);
+    std::vector<BfvCiphertext> out;
+    out.reserve(params_.planes);
+    for (int plane = 0; plane < params_.planes; ++plane) {
+        std::vector<BfvCiphertext> entries = rowSel(leaves, plane);
+        out.push_back(colTor(std::move(entries), selectors));
+    }
+    return out;
+}
+
+} // namespace ive

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * PIR server: ExpandQuery, RowSel, ColTor (paper Fig. 2).
+ *
+ * Server-side pipeline per query:
+ *   1. ExpandQuery: the packed query ciphertext is obliviously expanded
+ *      through a binary tree of Subs operations into D0 one-hot BFV
+ *      ciphertexts plus d*l gadget-row ciphertexts.
+ *   2. Selector assembly: for each subsequent dimension, an RGSW
+ *      selector is built from the gadget-row leaves; the a-side rows
+ *      come from external products with the client's RGSW(s) key
+ *      (the Onion-ORAM [34] technique).
+ *   3. RowSel: a GEMM between the preprocessed DB (D/D0 x D0 matrix of
+ *      NTT-form polynomials) and the D0 expanded ciphertexts.
+ *   4. ColTor: a binary tournament of external products halves the
+ *      2^d candidates per dimension; error grows only additively.
+ */
+
+#ifndef IVE_PIR_SERVER_HH
+#define IVE_PIR_SERVER_HH
+
+#include "pir/client.hh"
+#include "pir/database.hh"
+#include "pir/schedule.hh"
+
+namespace ive {
+
+/** Mult/op tallies the server accumulates (validates model/complexity). */
+struct ServerCounters
+{
+    u64 subsOps = 0;
+    u64 externalProducts = 0;
+    u64 plainMulAccs = 0;
+
+    void
+    reset()
+    {
+        *this = ServerCounters{};
+    }
+};
+
+class PirServer
+{
+  public:
+    PirServer(const HeContext &ctx, const PirParams &params,
+              const Database *db, PirPublicKeys keys);
+
+    /**
+     * Expands the query into usedLeaves() ciphertexts: [0, D0) are the
+     * one-hot RowSel selectors, the rest are RGSW gadget rows. Branches
+     * with no used leaves are pruned.
+     */
+    std::vector<BfvCiphertext> expandQuery(const PirQuery &query) const;
+
+    /** Assembles the d RGSW selectors from the expanded leaves. */
+    std::vector<RgswCiphertext>
+    buildSelectors(const std::vector<BfvCiphertext> &leaves) const;
+
+    /** RowSel over one plane: 2^d accumulated ciphertexts. */
+    std::vector<BfvCiphertext>
+    rowSel(const std::vector<BfvCiphertext> &leaves, int plane = 0) const;
+
+    /** ColTor tournament in the default (BFS) order. */
+    BfvCiphertext colTor(std::vector<BfvCiphertext> entries,
+                         const std::vector<RgswCiphertext> &sel) const;
+
+    /** ColTor executed in an arbitrary valid schedule order. */
+    BfvCiphertext
+    colTorScheduled(std::vector<BfvCiphertext> entries,
+                    const std::vector<RgswCiphertext> &sel,
+                    const std::vector<TreeOp> &schedule) const;
+
+    /** Full pipeline for one plane. */
+    BfvCiphertext process(const PirQuery &query, int plane = 0) const;
+
+    /** Full pipeline for all planes (one expansion, shared). */
+    std::vector<BfvCiphertext> processAllPlanes(const PirQuery &query)
+        const;
+
+    const ServerCounters &counters() const { return counters_; }
+    void resetCounters() const { counters_.reset(); }
+
+    const PirParams &params() const { return params_; }
+
+  private:
+    /** One tournament step: e0 + sel (x) (e1 - e0). */
+    BfvCiphertext foldPair(const BfvCiphertext &e0,
+                           const BfvCiphertext &e1,
+                           const RgswCiphertext &sel) const;
+
+    const HeContext &ctx_;
+    PirParams params_;
+    const Database *db_;
+    PirPublicKeys keys_;
+    std::vector<RnsPoly> monomials_; ///< NTT(X^{-2^t}) per tree level.
+    mutable ServerCounters counters_;
+};
+
+} // namespace ive
+
+#endif // IVE_PIR_SERVER_HH

@@ -1,0 +1,125 @@
+#include "pir/simplepir.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace ive {
+
+SimplePirParams
+SimplePirParams::forDbSize(u64 db_bytes)
+{
+    SimplePirParams p;
+    u64 side = static_cast<u64>(
+        std::ceil(std::sqrt(static_cast<double>(db_bytes))));
+    p.rows = side;
+    p.cols = divCeil(db_bytes, side);
+    return p;
+}
+
+SimplePir::SimplePir(const SimplePirParams &params, u64 seed)
+    : params_(params), rng_(seed)
+{
+    ive_assert(params_.rows > 0 && params_.cols > 0);
+    ive_assert(isPow2(params_.p) && params_.p <= 4096);
+    db_.assign(params_.rows * params_.cols, 0);
+    a_.resize(params_.cols * params_.lweDim);
+    for (auto &v : a_)
+        v = static_cast<u32>(rng_.next());
+}
+
+void
+SimplePir::fillRandom()
+{
+    for (auto &v : db_)
+        v = static_cast<u8>(rng_.next() % params_.p);
+}
+
+void
+SimplePir::setEntry(u64 row, u64 col, u8 value)
+{
+    ive_assert(row < params_.rows && col < params_.cols);
+    ive_assert(value < params_.p);
+    db_[row * params_.cols + col] = value;
+}
+
+u8
+SimplePir::entryAt(u64 row, u64 col) const
+{
+    return db_[row * params_.cols + col];
+}
+
+void
+SimplePir::computeHint()
+{
+    hint_.assign(params_.rows * params_.lweDim, 0);
+    for (u64 r = 0; r < params_.rows; ++r) {
+        const u8 *row = db_.data() + r * params_.cols;
+        u32 *out = hint_.data() + r * params_.lweDim;
+        for (u64 c = 0; c < params_.cols; ++c) {
+            u32 v = row[c];
+            if (v == 0)
+                continue;
+            const u32 *arow = a_.data() + c * params_.lweDim;
+            for (u64 k = 0; k < params_.lweDim; ++k)
+                out[k] += v * arow[k]; // mod 2^32 wraps naturally
+        }
+    }
+    hintReady_ = true;
+}
+
+std::vector<u32>
+SimplePir::makeQuery(u64 col, ClientState &state, Rng &rng) const
+{
+    ive_assert(col < params_.cols);
+    state.col = col;
+    state.secret.resize(params_.lweDim);
+    for (auto &v : state.secret)
+        v = static_cast<u32>(rng.next());
+
+    std::vector<u32> qu(params_.cols, 0);
+    for (u64 c = 0; c < params_.cols; ++c) {
+        const u32 *arow = a_.data() + c * params_.lweDim;
+        u32 acc = 0;
+        for (u64 k = 0; k < params_.lweDim; ++k)
+            acc += arow[k] * state.secret[k];
+        // Centered-binomial error, sigma ~3.2.
+        u32 e = static_cast<u32>(rng.cbdNoise(u64{1} << 32));
+        qu[c] = acc + e;
+    }
+    qu[col] += params_.delta();
+    return qu;
+}
+
+std::vector<u32>
+SimplePir::answer(const std::vector<u32> &query) const
+{
+    ive_assert(query.size() == params_.cols);
+    std::vector<u32> ans(params_.rows, 0);
+    for (u64 r = 0; r < params_.rows; ++r) {
+        const u8 *row = db_.data() + r * params_.cols;
+        u32 acc = 0;
+        for (u64 c = 0; c < params_.cols; ++c)
+            acc += static_cast<u32>(row[c]) * query[c];
+        ans[r] = acc;
+    }
+    return ans;
+}
+
+u8
+SimplePir::recover(const std::vector<u32> &ans, const ClientState &state,
+                   u64 row) const
+{
+    ive_assert(hintReady_);
+    const u32 *hrow = hint_.data() + row * params_.lweDim;
+    u32 hs = 0;
+    for (u64 k = 0; k < params_.lweDim; ++k)
+        hs += hrow[k] * state.secret[k];
+    u32 noisy = ans[row] - hs; // Delta*value + error (mod 2^32)
+    u32 delta = params_.delta();
+    u64 value = (static_cast<u64>(noisy) + delta / 2) / delta;
+    return static_cast<u8>(value % params_.p);
+}
+
+} // namespace ive

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SimplePIR (Henzinger et al., USENIX Security '23) baseline for
+ * Table IV.
+ *
+ * Regev-encryption PIR: the database is a sqrt(D) x sqrt(D) matrix of
+ * Z_p entries; the online answer is one matrix-vector product over
+ * Z_{2^32}. The client holds a one-time "hint" DB * A computed offline.
+ * The answer phase (the part hardware accelerates) is a pure modular
+ * GEMV, which is what IVE's sysNTTU GEMM mode executes.
+ */
+
+#ifndef IVE_PIR_SIMPLEPIR_HH
+#define IVE_PIR_SIMPLEPIR_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace ive {
+
+struct SimplePirParams
+{
+    u64 lweDim = 1024;       ///< LWE secret dimension n.
+    u64 rows = 0;            ///< Database matrix rows.
+    u64 cols = 0;            ///< Database matrix columns.
+    u64 p = 256;             ///< Plaintext modulus (1-byte entries).
+
+    /** Square-ish matrix covering db_bytes 1-byte entries. */
+    static SimplePirParams forDbSize(u64 db_bytes);
+
+    u64 dbBytes() const { return rows * cols; }
+    /** Delta = 2^32 / p. */
+    u32 delta() const { return static_cast<u32>((u64{1} << 32) / p); }
+};
+
+class SimplePir
+{
+  public:
+    SimplePir(const SimplePirParams &params, u64 seed);
+
+    /** Fills the database with deterministic pseudo-random bytes. */
+    void fillRandom();
+    void setEntry(u64 row, u64 col, u8 value);
+    u8 entryAt(u64 row, u64 col) const;
+
+    /** Offline: hint = DB * A (rows x lweDim). O(rows*cols*lweDim). */
+    void computeHint();
+
+    struct ClientState
+    {
+        std::vector<u32> secret; ///< LWE secret s.
+        u64 col;                 ///< Queried column.
+    };
+
+    /** Query for column j: A*s + e + Delta*u_j. */
+    std::vector<u32> makeQuery(u64 col, ClientState &state, Rng &rng)
+        const;
+
+    /** Online answer: DB * query (the accelerated GEMV). */
+    std::vector<u32> answer(const std::vector<u32> &query) const;
+
+    /** Recovers DB[row, col] from the answer using hint and secret. */
+    u8 recover(const std::vector<u32> &ans, const ClientState &state,
+               u64 row) const;
+
+    const SimplePirParams &params() const { return params_; }
+
+    /** Bytes the answer phase streams (db + query + answer). */
+    u64
+    answerBytes() const
+    {
+        return params_.rows * params_.cols + 4 * params_.cols +
+               4 * params_.rows;
+    }
+
+  private:
+    SimplePirParams params_;
+    Rng rng_;
+    std::vector<u8> db_;   ///< rows x cols, row-major.
+    std::vector<u32> a_;   ///< cols x lweDim, row-major.
+    std::vector<u32> hint_; ///< rows x lweDim, row-major.
+    bool hintReady_ = false;
+};
+
+} // namespace ive
+
+#endif // IVE_PIR_SIMPLEPIR_HH

@@ -1,0 +1,262 @@
+#include "poly/poly.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace ive {
+
+Ring::Ring(u64 n_in, const std::vector<u64> &primes)
+    : n(n_in), base(primes)
+{
+    ive_assert(isPow2(n) && n >= 4);
+    for (u64 p : primes)
+        ntt.emplace_back(p, n);
+}
+
+RnsPoly::RnsPoly(const Ring &ring, Domain domain)
+    : n_(ring.n), k_(ring.k()), domain_(domain),
+      data_(ring.words(), 0)
+{
+}
+
+std::span<u64>
+RnsPoly::residues(int p)
+{
+    return {data_.data() + idx(p, 0), n_};
+}
+
+std::span<const u64>
+RnsPoly::residues(int p) const
+{
+    return {data_.data() + idx(p, 0), n_};
+}
+
+void
+RnsPoly::coeffResidues(u64 i, std::span<u64> out) const
+{
+    ive_assert(domain_ == Domain::Coeff);
+    ive_assert(static_cast<int>(out.size()) == k_);
+    for (int p = 0; p < k_; ++p)
+        out[p] = data_[idx(p, i)];
+}
+
+void
+RnsPoly::setZero()
+{
+    std::fill(data_.begin(), data_.end(), 0);
+}
+
+void
+RnsPoly::addInPlace(const Ring &ring, const RnsPoly &other)
+{
+    ive_assert(domain_ == other.domain_ && n_ == other.n_);
+    for (int p = 0; p < k_; ++p) {
+        u64 q = ring.base.modulus(p).value();
+        u64 *dst = data_.data() + idx(p, 0);
+        const u64 *src = other.data_.data() + other.idx(p, 0);
+        for (u64 i = 0; i < n_; ++i) {
+            u64 s = dst[i] + src[i];
+            dst[i] = s >= q ? s - q : s;
+        }
+    }
+}
+
+void
+RnsPoly::subInPlace(const Ring &ring, const RnsPoly &other)
+{
+    ive_assert(domain_ == other.domain_ && n_ == other.n_);
+    for (int p = 0; p < k_; ++p) {
+        u64 q = ring.base.modulus(p).value();
+        u64 *dst = data_.data() + idx(p, 0);
+        const u64 *src = other.data_.data() + other.idx(p, 0);
+        for (u64 i = 0; i < n_; ++i) {
+            u64 a = dst[i], b = src[i];
+            dst[i] = a >= b ? a - b : a + q - b;
+        }
+    }
+}
+
+void
+RnsPoly::negateInPlace(const Ring &ring)
+{
+    for (int p = 0; p < k_; ++p) {
+        u64 q = ring.base.modulus(p).value();
+        u64 *dst = data_.data() + idx(p, 0);
+        for (u64 i = 0; i < n_; ++i)
+            dst[i] = dst[i] == 0 ? 0 : q - dst[i];
+    }
+}
+
+void
+RnsPoly::mulInPlace(const Ring &ring, const RnsPoly &other)
+{
+    ive_assert(isNtt() && other.isNtt());
+    for (int p = 0; p < k_; ++p) {
+        const Modulus &mod = ring.base.modulus(p);
+        u64 *dst = data_.data() + idx(p, 0);
+        const u64 *src = other.data_.data() + other.idx(p, 0);
+        for (u64 i = 0; i < n_; ++i)
+            dst[i] = mod.mul(dst[i], src[i]);
+    }
+}
+
+void
+RnsPoly::mulAccumulate(const Ring &ring, const RnsPoly &a,
+                       const RnsPoly &b)
+{
+    ive_assert(isNtt() && a.isNtt() && b.isNtt());
+    for (int p = 0; p < k_; ++p) {
+        const Modulus &mod = ring.base.modulus(p);
+        u64 q = mod.value();
+        u64 *dst = data_.data() + idx(p, 0);
+        const u64 *pa = a.data_.data() + a.idx(p, 0);
+        const u64 *pb = b.data_.data() + b.idx(p, 0);
+        for (u64 i = 0; i < n_; ++i) {
+            u64 s = dst[i] + mod.mul(pa[i], pb[i]);
+            dst[i] = s >= q ? s - q : s;
+        }
+    }
+}
+
+void
+RnsPoly::scalarMulInPlace(const Ring &ring, std::span<const u64> residues)
+{
+    ive_assert(static_cast<int>(residues.size()) == k_);
+    for (int p = 0; p < k_; ++p) {
+        const Modulus &mod = ring.base.modulus(p);
+        u64 s = residues[p];
+        u64 s_shoup = mod.shoupPrecompute(s);
+        u64 *dst = data_.data() + idx(p, 0);
+        for (u64 i = 0; i < n_; ++i)
+            dst[i] = mod.mulShoup(dst[i], s, s_shoup);
+    }
+}
+
+void
+RnsPoly::toNtt(const Ring &ring)
+{
+    ive_assert(domain_ == Domain::Coeff);
+    for (int p = 0; p < k_; ++p)
+        ring.ntt[p].forward(residues(p));
+    domain_ = Domain::Ntt;
+}
+
+void
+RnsPoly::fromNtt(const Ring &ring)
+{
+    ive_assert(domain_ == Domain::Ntt);
+    for (int p = 0; p < k_; ++p)
+        ring.ntt[p].inverse(residues(p));
+    domain_ = Domain::Coeff;
+}
+
+RnsPoly
+RnsPoly::automorphism(const Ring &ring, u64 r) const
+{
+    ive_assert(domain_ == Domain::Coeff);
+    ive_assert(r % 2 == 1);
+    RnsPoly out(ring, Domain::Coeff);
+    u64 two_n = 2 * n_;
+    for (u64 i = 0; i < n_; ++i) {
+        u64 j = (i * r) % two_n;
+        bool flip = j >= n_;
+        u64 pos = flip ? j - n_ : j;
+        for (int p = 0; p < k_; ++p) {
+            u64 q = ring.base.modulus(p).value();
+            u64 v = data_[idx(p, i)];
+            if (flip)
+                v = v == 0 ? 0 : q - v;
+            out.data_[out.idx(p, pos)] = v;
+        }
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::monomialMul(const Ring &ring, i64 e) const
+{
+    ive_assert(domain_ == Domain::Coeff);
+    u64 two_n = 2 * n_;
+    // Normalize the exponent into [0, 2n).
+    u64 shift = static_cast<u64>(((e % static_cast<i64>(two_n)) +
+                                  static_cast<i64>(two_n)) %
+                                 static_cast<i64>(two_n));
+    RnsPoly out(ring, Domain::Coeff);
+    for (u64 i = 0; i < n_; ++i) {
+        u64 j = (i + shift) % two_n;
+        bool flip = j >= n_;
+        u64 pos = flip ? j - n_ : j;
+        for (int p = 0; p < k_; ++p) {
+            u64 q = ring.base.modulus(p).value();
+            u64 v = data_[idx(p, i)];
+            if (flip)
+                v = v == 0 ? 0 : q - v;
+            out.data_[out.idx(p, pos)] = v;
+        }
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::monomialNtt(const Ring &ring, i64 e)
+{
+    RnsPoly mono(ring, Domain::Coeff);
+    u64 two_n = 2 * ring.n;
+    u64 shift = static_cast<u64>(((e % static_cast<i64>(two_n)) +
+                                  static_cast<i64>(two_n)) %
+                                 static_cast<i64>(two_n));
+    bool flip = shift >= ring.n;
+    u64 pos = flip ? shift - ring.n : shift;
+    for (int p = 0; p < ring.k(); ++p) {
+        u64 q = ring.base.modulus(p).value();
+        mono.set(p, pos, flip ? q - 1 : 1);
+    }
+    mono.toNtt(ring);
+    return mono;
+}
+
+RnsPoly
+RnsPoly::uniform(const Ring &ring, Rng &rng, Domain domain)
+{
+    RnsPoly out(ring, domain);
+    for (int p = 0; p < ring.k(); ++p) {
+        u64 q = ring.base.modulus(p).value();
+        for (u64 i = 0; i < ring.n; ++i)
+            out.set(p, i, rng.uniform(q));
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::ternary(const Ring &ring, Rng &rng)
+{
+    RnsPoly out(ring, Domain::Coeff);
+    std::vector<u64> res(ring.k());
+    for (u64 i = 0; i < ring.n; ++i) {
+        i64 v = static_cast<i64>(rng.uniform(3)) - 1;
+        ring.base.toRnsSigned(v, res);
+        for (int p = 0; p < ring.k(); ++p)
+            out.set(p, i, res[p]);
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::noise(const Ring &ring, Rng &rng)
+{
+    RnsPoly out(ring, Domain::Coeff);
+    std::vector<u64> res(ring.k());
+    for (u64 i = 0; i < ring.n; ++i) {
+        // Sample once, then embed the same signed value in every prime.
+        u64 q0 = ring.base.modulus(0).value();
+        u64 v0 = rng.cbdNoise(q0);
+        i64 v = v0 > q0 / 2 ? static_cast<i64>(v0) - static_cast<i64>(q0)
+                            : static_cast<i64>(v0);
+        ring.base.toRnsSigned(v, res);
+        for (int p = 0; p < ring.k(); ++p)
+            out.set(p, i, res[p]);
+    }
+    return out;
+}
+
+} // namespace ive

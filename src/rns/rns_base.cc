@@ -1,0 +1,100 @@
+#include "rns/rns_base.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "modmath/primes.hh"
+
+namespace ive {
+
+RnsBase::RnsBase(const std::vector<u64> &primes)
+{
+    ive_assert(!primes.empty());
+    double log_q = 0.0;
+    for (u64 p : primes) {
+        ive_assert(isPrime(p));
+        moduli_.emplace_back(p);
+        log_q += std::log2(static_cast<double>(p));
+    }
+    // All 128-bit intermediates (sums of size() terms < Q) must fit.
+    ive_assert(log_q + std::log2(static_cast<double>(primes.size())) <
+               127.0);
+    logQ_ = log_q;
+
+    q_ = 1;
+    for (u64 p : primes)
+        q_ *= p;
+
+    for (int i = 0; i < size(); ++i) {
+        u128 hat = 1;
+        for (int j = 0; j < size(); ++j) {
+            if (j != i)
+                hat *= moduli_[j].value();
+        }
+        qHat_.push_back(hat);
+        u64 hat_mod_qi = static_cast<u64>(hat % moduli_[i].value());
+        qHatInvModQi_.push_back(moduli_[i].inverse(hat_mod_qi));
+    }
+}
+
+void
+RnsBase::toRns(u128 x, std::span<u64> out) const
+{
+    ive_assert(static_cast<int>(out.size()) == size());
+    for (int i = 0; i < size(); ++i)
+        out[i] = static_cast<u64>(x % moduli_[i].value());
+}
+
+void
+RnsBase::toRnsSigned(i64 x, std::span<u64> out) const
+{
+    ive_assert(static_cast<int>(out.size()) == size());
+    for (int i = 0; i < size(); ++i) {
+        u64 q = moduli_[i].value();
+        i64 m = x % static_cast<i64>(q);
+        if (m < 0)
+            m += static_cast<i64>(q);
+        out[i] = static_cast<u64>(m);
+    }
+}
+
+u128
+RnsBase::fromRns(std::span<const u64> residues) const
+{
+    ive_assert(static_cast<int>(residues.size()) == size());
+    // Eq. 3: x = sum_i ([x_i * (Q/q_i)^{-1}] mod q_i) * (Q/q_i) mod Q.
+    u128 acc = 0;
+    for (int i = 0; i < size(); ++i) {
+        u64 t = moduli_[i].mul(residues[i], qHatInvModQi_[i]);
+        acc += qHat_[i] * t;
+    }
+    return acc % q_;
+}
+
+i128
+RnsBase::centered(u128 x) const
+{
+    if (x > q_ / 2)
+        return static_cast<i128>(x) - static_cast<i128>(q_);
+    return static_cast<i128>(x);
+}
+
+std::vector<u64>
+RnsBase::deltaResidues(u64 p) const
+{
+    u128 delta = q_ / p;
+    std::vector<u64> out(size());
+    toRns(delta, out);
+    return out;
+}
+
+std::vector<u64>
+RnsBase::inverseResidues(u64 x) const
+{
+    std::vector<u64> out(size());
+    for (int i = 0; i < size(); ++i)
+        out[i] = moduli_[i].inverse(x % moduli_[i].value());
+    return out;
+}
+
+} // namespace ive

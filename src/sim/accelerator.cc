@@ -1,0 +1,72 @@
+#include "sim/accelerator.hh"
+
+#include "pir/simplepir.hh"
+
+namespace ive {
+
+SchemeThroughput
+IveSimulator::simulateSimplePir(u64 db_bytes, int batch) const
+{
+    SchemeThroughput out;
+    out.batch = batch;
+
+    SimplePirParams sp = SimplePirParams::forDbSize(db_bytes);
+    double entries =
+        static_cast<double>(sp.rows) * static_cast<double>(sp.cols);
+
+    // DB is raw bytes (1 byte per entry); stream at the tier holding it.
+    bool on_lpddr =
+        cfg_.hasLpddr && db_bytes > cfg_.hbmCapacity * 8 / 10;
+    double db_bw =
+        on_lpddr ? cfg_.lpddrBytesPerSec : cfg_.hbmBytesPerSec;
+
+    double scan_sec = static_cast<double>(db_bytes) / db_bw;
+    double mac_sec = entries * batch / cfg_.peakGemmMacsPerSec();
+    double io_bytes = 4.0 * batch * (sp.rows + sp.cols);
+    double io_sec = io_bytes / cfg_.hbmBytesPerSec +
+                    io_bytes / cfg_.pcieBytesPerSec;
+
+    out.latencySec = std::max(scan_sec, mac_sec) + io_sec;
+    out.qps = batch / out.latencySec;
+    return out;
+}
+
+SchemeThroughput
+IveSimulator::simulateKsPir(const KsPirParams &params, int batch) const
+{
+    SchemeThroughput out;
+    out.batch = batch;
+
+    SimOptions opts;
+    opts.batch = batch;
+    PirSimResult base = simulatePir(params.base, cfg_, opts);
+
+    // Response-compression trace: traceSteps Subs per query, QLP.
+    ObjectSizes sizes = objectSizes(params.base, cfg_);
+    auto units = makeUnitTable(cfg_);
+    OpGraph g;
+    double kn = static_cast<double>(sizes.polyBytes / cfg_.wordBytes);
+    int lks = params.base.he.ellKs;
+    u32 prev = SimOp::kNoDep;
+    for (int t = 0; t < params.traceSteps; ++t) {
+        u32 ld = g.add(FuKind::HbmPort,
+                       static_cast<double>(sizes.evkBytes), prev,
+                       SimOp::kNoDep, TrafficClass::EvkLoad);
+        u32 c1 = g.add(FuKind::SysNttu, 2 * kn, ld);
+        u32 c2 = g.add(FuKind::Autou, 2 * kn, c1);
+        u32 c3 = g.add(FuKind::Icrtu,
+                       static_cast<double>(params.base.he.n) * lks, c2);
+        u32 c4 = g.add(FuKind::SysNttu, lks * kn, c3);
+        u32 c5 = g.add(FuKind::Ewu, 2.0 * lks * kn, c4);
+        prev = g.add(FuKind::Ewu, 2 * kn, c5);
+    }
+    ExecStats trace = simulate(g, units);
+    int qpc = static_cast<int>(divCeil(batch, cfg_.cores));
+    double trace_sec = trace.cycles * qpc / cfg_.clockHz();
+
+    out.latencySec = base.latencySec + trace_sec;
+    out.qps = batch / out.latencySec;
+    return out;
+}
+
+} // namespace ive

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * IveSimulator facade plus IVE throughput models for the other PIR
+ * schemes of Table IV (SimplePIR, KsPIR-like).
+ */
+
+#ifndef IVE_SIM_ACCELERATOR_HH
+#define IVE_SIM_ACCELERATOR_HH
+
+#include "pir/kspir.hh"
+#include "sim/pir_program.hh"
+#include "sim/traffic.hh"
+
+namespace ive {
+
+struct SchemeThroughput
+{
+    double qps = 0.0;
+    double latencySec = 0.0;
+    int batch = 0;
+};
+
+class IveSimulator
+{
+  public:
+    explicit IveSimulator(const IveConfig &cfg = IveConfig::ive32())
+        : cfg_(cfg)
+    {
+    }
+
+    const IveConfig &config() const { return cfg_; }
+
+    /** Batched OnionPIR-style PIR (the main pipeline). */
+    PirSimResult run(const PirParams &params, const SimOptions &opts)
+        const
+    {
+        return simulatePir(params, cfg_, opts);
+    }
+
+    /** Convenience: raw-db-size entry point with default options. */
+    PirSimResult
+    runDbSize(u64 db_bytes, int batch) const
+    {
+        PirParams p = PirParams::paperPerf(db_bytes);
+        SimOptions opts;
+        opts.batch = batch;
+        return simulatePir(p, cfg_, opts);
+    }
+
+    /**
+     * SimplePIR answer phase on IVE: a batched modular GEMV over the
+     * raw (non-NTT) database, executed by the sysNTTUs in GEMM mode
+     * and streamed from DRAM.
+     */
+    SchemeThroughput simulateSimplePir(u64 db_bytes, int batch) const;
+
+    /**
+     * KsPIR-like pipeline on IVE: the OnionPIR-style phases of its
+     * base parameters plus the key-switching response-compression
+     * trace.
+     */
+    SchemeThroughput simulateKsPir(const KsPirParams &params,
+                                   int batch) const;
+
+  private:
+    IveConfig cfg_;
+};
+
+} // namespace ive
+
+#endif // IVE_SIM_ACCELERATOR_HH

@@ -1,0 +1,79 @@
+#include "sim/config.hh"
+
+namespace ive {
+
+double
+IveConfig::peakWatts() const
+{
+    double per_core = wattsSysNttuPerCore + wattsIcrtuPerCore +
+                      wattsEwuPerCore + wattsAutouPerCore +
+                      wattsSramPerCore + wattsOtherPerCore;
+    return per_core * cores + wattsNoc + wattsHbm;
+}
+
+double
+IveConfig::peakGemmMacsPerSec() const
+{
+    double per_core = unifiedNttGemm
+                          ? sysNttuPerCore * gemmMacsPerUnit
+                          : maduGemmMacsPerCycle;
+    return per_core * cores * clockHz();
+}
+
+IveConfig
+IveConfig::ive32()
+{
+    return IveConfig{};
+}
+
+IveConfig
+IveConfig::arkLike()
+{
+    IveConfig c;
+    c.name = "ARK-like";
+    c.cores = 64;
+    // One NTTU per core; total NTT throughput matches IVE (64x1 vs
+    // 32x2). GEMM falls back to two MADUs per core (128 MACs/cycle).
+    c.sysNttuPerCore = 1;
+    c.unifiedNttGemm = false;
+    c.maduGemmMacsPerCycle = 128.0;
+    // Two MADUs plus the RF re-read energy MADU-based GEMM incurs
+    // (SVI-E: "repeated data access to the RF").
+    c.wattsGemmAltPerCore = 1.5;
+    c.rfBytes = 2 * MiB;
+    c.icrtBufBytes = 0;
+    c.dbBufBytes = 0;
+    // Same chip-level memory system for a fair comparison (SVI-E).
+    // MADU-based GEMM re-reads operands from the RF per MAC pass,
+    // which the energy model charges via the higher EWU activity.
+    c.wattsEwuPerCore = 0.37;
+    return c;
+}
+
+IveConfig
+IveConfig::baseSeparate()
+{
+    IveConfig c;
+    c.name = "Base";
+    c.specialPrimes = false;
+    // Separate NTT units and standalone GEMM arrays, each matching a
+    // sysNTTU mode's throughput: identical performance, more area and
+    // different energy (model/cost, Fig. 13e).
+    c.unifiedNttGemm = false;
+    c.maduGemmMacsPerCycle = 1024.0; // 2 arrays x 512 MACs/cycle
+    // Standalone arrays burn the same dynamic power as the sysNTTU
+    // GEMM mode, minus the mode-switch circuit overhead.
+    c.wattsGemmAltPerCore = 2.17;
+    return c;
+}
+
+IveConfig
+IveConfig::baseSpecialPrimes()
+{
+    IveConfig c = baseSeparate();
+    c.name = "+Sp";
+    c.specialPrimes = true;
+    return c;
+}
+
+} // namespace ive

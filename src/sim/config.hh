@@ -1,0 +1,125 @@
+/**
+ * @file
+ * IVE accelerator configuration (paper SIV, SV, Table II).
+ *
+ * Defaults model the flagship 32-core IVE: 64 lanes per core, two
+ * sysNTTUs (each a 32x16 systolic array usable as NTT pipeline or
+ * modular-GEMM engine), an iCRTU, EWU and AutoU per core, 5 MB of
+ * managed SRAM per core (4 MB RF + 448 KB iCRT buffer + 448 KB DB
+ * buffer), four HBM stacks (2 TB/s, 96 GB) and optionally four LPDDR
+ * expander modules (512 GB/s, 512 GB) for the scale-up system.
+ *
+ * Ablation presets cover the ARK-like baseline of Fig. 14a and the
+ * Base/+Sp/+sysNTTU architectural sweep of Fig. 13e.
+ */
+
+#ifndef IVE_SIM_CONFIG_HH
+#define IVE_SIM_CONFIG_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace ive {
+
+struct IveConfig
+{
+    std::string name = "IVE-32";
+
+    // --- chip organization ---
+    int cores = 32;
+    int lanes = 64;
+    double clockGhz = 1.0;
+
+    // --- functional units per core ---
+    int sysNttuPerCore = 2;
+    /** MACs per cycle per sysNTTU in GEMM mode (32x16 array). */
+    double gemmMacsPerUnit = 512.0;
+    /** Single-prime NTT points per cycle per sysNTTU. */
+    double nttPointsPerUnit = 32.0;
+    /**
+     * EWU modular multiply-adds per cycle. The EWU's small-GEMM path
+     * (2x2 .. 2x.sqrt(N) matrices, SIV-F) retires two MMADs per lane
+     * per cycle, which external products and Subs exploit.
+     */
+    double ewuMacsPerCycle = 128.0;
+    /** iCRTU coefficients entering reconstruction per cycle. */
+    double icrtCoeffsPerCycle = 64.0;
+    /** AutoU coefficients permuted per cycle. */
+    double autoCoeffsPerCycle = 64.0;
+
+    /**
+     * When false (ARK-like / Base ablation), GEMM cannot run on the
+     * NTT pipelines; it maps to MADU/EWU-class units with
+     * `maduGemmMacsPerCycle` MACs per cycle per core.
+     */
+    bool unifiedNttGemm = true;
+    double maduGemmMacsPerCycle = 128.0;
+    /** Peak watts of the non-unified GEMM engine per core. */
+    double wattsGemmAltPerCore = 0.36;
+
+    /** Solinas special primes (9.1% smaller modular multiplier). */
+    bool specialPrimes = true;
+
+    // --- on-chip memory (per core) ---
+    u64 rfBytes = 4 * MiB;
+    u64 icrtBufBytes = 448 * KiB;
+    u64 dbBufBytes = 448 * KiB;
+
+    // --- off-chip memory (per chip) ---
+    double hbmBytesPerSec = 2048.0 * GiB;
+    u64 hbmCapacity = 96 * GiB;
+    bool hasLpddr = true;
+    double lpddrBytesPerSec = 512.0 * GiB;
+    u64 lpddrCapacity = 512 * GiB;
+
+    // --- interconnect ---
+    /** NoC transpose bytes per cycle per core (fixed global wires). */
+    double nocBytesPerCycle = 224.0;
+    /** PCIe bandwidth for the scale-out cluster. */
+    double pcieBytesPerSec = 128.0 * GiB;
+
+    /** Residue word footprint in DRAM (28-bit packed). */
+    double wordBytes = 3.5;
+
+    // --- component peak powers (W), calibrated to Table II ---
+    double wattsSysNttuPerCore = 2.17;
+    double wattsIcrtuPerCore = 0.13;
+    double wattsEwuPerCore = 0.37;
+    double wattsAutouPerCore = 0.11;
+    double wattsSramPerCore = 1.63;
+    double wattsOtherPerCore = 0.71;
+    double wattsNoc = 6.7;
+    double wattsHbm = 68.6;
+    /** Static/leakage fraction of peak drawn while idle. */
+    double staticFraction = 0.05;
+
+    double clockHz() const { return clockGhz * 1e9; }
+    double
+    hbmBytesPerCyclePerCore() const
+    {
+        return hbmBytesPerSec / clockHz() / cores;
+    }
+    double
+    lpddrBytesPerCyclePerCore() const
+    {
+        return lpddrBytesPerSec / clockHz() / cores;
+    }
+    /** Peak chip power (Table II "Sum"). */
+    double peakWatts() const;
+    /** Peak GEMM throughput, MACs per second, chip-wide. */
+    double peakGemmMacsPerSec() const;
+
+    // --- presets ---
+    static IveConfig ive32();
+    /** ARK-like baseline (Fig. 14a): 64 cores, NTTU+MADUs, 2MB RF. */
+    static IveConfig arkLike();
+    /** Fig. 13e "Base": separate NTT/GEMM units, generic primes. */
+    static IveConfig baseSeparate();
+    /** Fig. 13e "+Sp": Base plus special primes. */
+    static IveConfig baseSpecialPrimes();
+};
+
+} // namespace ive
+
+#endif // IVE_SIM_CONFIG_HH

@@ -1,0 +1,76 @@
+#include "sim/core.hh"
+
+namespace ive {
+
+std::array<UnitDesc, kNumFuKinds>
+makeUnitTable(const IveConfig &cfg)
+{
+    std::array<UnitDesc, kNumFuKinds> units{};
+
+    auto &ntt = units[static_cast<int>(FuKind::SysNttu)];
+    ntt.throughput = cfg.nttPointsPerUnit;
+    ntt.copies = cfg.sysNttuPerCore;
+    ntt.latency = 30.0; // pipeline fill: logN butterfly stages + twist
+
+    auto &gemm = units[static_cast<int>(FuKind::Gemm)];
+    if (cfg.unifiedNttGemm) {
+        // Same silicon as the sysNTTUs, mode-switched (SIV-C). PIR
+        // phases are sequential, so no double-booking arises.
+        gemm.throughput = cfg.gemmMacsPerUnit;
+        gemm.copies = cfg.sysNttuPerCore;
+    } else {
+        gemm.throughput = cfg.maduGemmMacsPerCycle;
+        gemm.copies = 1;
+    }
+    gemm.latency = 48.0; // systolic fill + drain
+
+    auto &ewu = units[static_cast<int>(FuKind::Ewu)];
+    ewu.throughput = cfg.ewuMacsPerCycle;
+    ewu.latency = 4.0;
+
+    auto &icrt = units[static_cast<int>(FuKind::Icrtu)];
+    icrt.throughput = cfg.icrtCoeffsPerCycle;
+    icrt.latency = 12.0;
+
+    auto &autou = units[static_cast<int>(FuKind::Autou)];
+    autou.throughput = cfg.autoCoeffsPerCycle;
+    autou.latency = 4.0;
+
+    auto &hbm = units[static_cast<int>(FuKind::HbmPort)];
+    hbm.throughput = cfg.hbmBytesPerCyclePerCore();
+    hbm.latency = 100.0; // DRAM access latency, hidden by prefetch
+
+    auto &lpddr = units[static_cast<int>(FuKind::LpddrPort)];
+    lpddr.throughput = cfg.lpddrBytesPerCyclePerCore();
+    lpddr.latency = 150.0;
+
+    auto &noc = units[static_cast<int>(FuKind::NocPort)];
+    noc.throughput = cfg.nocBytesPerCycle;
+    noc.latency = 8.0;
+
+    return units;
+}
+
+ObjectSizes
+objectSizes(const PirParams &params, const IveConfig &cfg)
+{
+    ObjectSizes s;
+    u64 words = static_cast<u64>(params.he.primes.empty()
+                                     ? 4
+                                     : params.he.primes.size()) *
+                params.he.n;
+    s.polyBytes = static_cast<u64>(words * cfg.wordBytes);
+    s.ctBytes = 2 * s.polyBytes;
+    s.evkBytes = static_cast<u64>(params.he.ellKs) * s.ctBytes;
+    s.rgswBytes = 2 * static_cast<u64>(params.he.ellRgsw) * s.ctBytes;
+    s.queryBytes = s.ctBytes;
+    s.dbEntryBytes = s.polyBytes;
+    s.dbBytes = params.numEntries() *
+                static_cast<u64>(params.planes) * s.dbEntryBytes;
+    s.clientUploadBytes = s.queryBytes +
+                          params.expansionDepth() * s.evkBytes +
+                          s.rgswBytes;
+    return s;
+}
+
+} // namespace ive

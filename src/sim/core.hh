@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Per-core functional-unit timing descriptions (paper SIV-B/C/F).
+ */
+
+#ifndef IVE_SIM_CORE_HH
+#define IVE_SIM_CORE_HH
+
+#include "pir/params.hh"
+#include "sim/config.hh"
+#include "sim/op_graph.hh"
+
+namespace ive {
+
+/** Builds the per-core unit table used by simulate(). */
+std::array<UnitDesc, kNumFuKinds> makeUnitTable(const IveConfig &cfg);
+
+/** Byte footprints of the protocol objects in packed DRAM words. */
+struct ObjectSizes
+{
+    u64 polyBytes;   ///< One R_Q polynomial.
+    u64 ctBytes;     ///< BFV ciphertext (2 polys).
+    u64 evkBytes;    ///< Key-switching key (ellKs rows).
+    u64 rgswBytes;   ///< RGSW ciphertext (2*ellRgsw rows).
+    u64 queryBytes;  ///< Query ciphertext.
+    u64 dbEntryBytes;///< One preprocessed plaintext polynomial.
+    u64 dbBytes;     ///< Full preprocessed database (all planes).
+    u64 clientUploadBytes; ///< Query + evks + RGSW(s) per client.
+};
+
+ObjectSizes objectSizes(const PirParams &params, const IveConfig &cfg);
+
+} // namespace ive
+
+#endif // IVE_SIM_CORE_HH

@@ -1,0 +1,114 @@
+#include "sim/memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ive {
+
+Scratchpad::Scratchpad(u64 capacity_bytes) : capacity_(capacity_bytes)
+{
+    ive_assert(capacity_bytes > 0);
+}
+
+std::vector<MemAction>
+Scratchpad::use(const std::vector<ObjUse> &uses)
+{
+    std::vector<MemAction> actions;
+
+    u64 incoming = 0;
+    for (const auto &u : uses) {
+        if (!entries_.contains(u.id))
+            incoming += u.bytes;
+    }
+    u64 pinned_total = incoming;
+    for (const auto &u : uses) {
+        if (entries_.contains(u.id))
+            pinned_total += entries_[u.id].bytes;
+    }
+    ive_assert(pinned_total <= capacity_);
+
+    if (residentBytes_ + incoming > capacity_)
+        evictFor(residentBytes_ + incoming - capacity_, uses, actions);
+
+    for (const auto &u : uses) {
+        auto it = entries_.find(u.id);
+        if (it != entries_.end()) {
+            // Hit: refresh LRU position, possibly upgrade dirtiness.
+            lru_.erase(it->second.lruIt);
+            lru_.push_front(u.id);
+            it->second.lruIt = lru_.begin();
+            it->second.dirty = it->second.dirty || u.dirty;
+            continue;
+        }
+        if (!u.isNew) {
+            actions.push_back({true, u.id, u.bytes, u.loadClass});
+        }
+        lru_.push_front(u.id);
+        entries_[u.id] =
+            Entry{u.bytes, u.dirty, u.storeClass, lru_.begin()};
+        residentBytes_ += u.bytes;
+    }
+    return actions;
+}
+
+void
+Scratchpad::evictFor(u64 needed, const std::vector<ObjUse> &pinned,
+                     std::vector<MemAction> &actions)
+{
+    auto is_pinned = [&](u64 id) {
+        return std::any_of(pinned.begin(), pinned.end(),
+                           [&](const ObjUse &u) { return u.id == id; });
+    };
+
+    u64 freed = 0;
+    while (freed < needed) {
+        ive_assert(!lru_.empty());
+        // Find the least recently used non-pinned victim.
+        auto victim = lru_.end();
+        for (auto it = std::prev(lru_.end());; --it) {
+            if (!is_pinned(*it)) {
+                victim = it;
+                break;
+            }
+            if (it == lru_.begin())
+                break;
+        }
+        ive_assert(victim != lru_.end());
+        u64 id = *victim;
+        Entry &e = entries_[id];
+        if (e.dirty)
+            actions.push_back({false, id, e.bytes, e.storeClass});
+        freed += e.bytes;
+        residentBytes_ -= e.bytes;
+        lru_.erase(victim);
+        entries_.erase(id);
+    }
+}
+
+void
+Scratchpad::drop(u64 id)
+{
+    auto it = entries_.find(id);
+    if (it == entries_.end())
+        return;
+    residentBytes_ -= it->second.bytes;
+    lru_.erase(it->second.lruIt);
+    entries_.erase(it);
+}
+
+std::vector<MemAction>
+Scratchpad::flush()
+{
+    std::vector<MemAction> actions;
+    for (auto &[id, e] : entries_) {
+        if (e.dirty)
+            actions.push_back({false, id, e.bytes, e.storeClass});
+    }
+    entries_.clear();
+    lru_.clear();
+    residentBytes_ = 0;
+    return actions;
+}
+
+} // namespace ive

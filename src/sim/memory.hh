@@ -1,0 +1,88 @@
+/**
+ * @file
+ * On-chip scratchpad model with LRU replacement and dirty write-back.
+ *
+ * The phase builders replay an operation schedule against this model to
+ * decide which DRAM transfers happen (Fig. 8). Objects are ciphertexts
+ * and keys; an op "uses" a set of objects jointly (none may evict
+ * another while the op runs). Intermediate tree values are dropped
+ * (freed without write-back) after their single consumer, matching the
+ * in-place tournament; values evicted while still live are written back
+ * and reloaded on the next touch, which is exactly the BFS spill
+ * penalty the paper describes.
+ */
+
+#ifndef IVE_SIM_MEMORY_HH
+#define IVE_SIM_MEMORY_HH
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/op_graph.hh"
+
+namespace ive {
+
+/** A scratchpad-object use descriptor. */
+struct ObjUse
+{
+    u64 id;
+    u64 bytes;
+    bool isNew = false;   ///< Created by this op (no load).
+    bool dirty = false;   ///< Needs write-back if evicted/flushed.
+    TrafficClass loadClass = TrafficClass::CtLoad;
+    TrafficClass storeClass = TrafficClass::CtStore;
+};
+
+/** A DRAM transfer the scratchpad decided on. */
+struct MemAction
+{
+    bool isLoad;
+    u64 id;
+    u64 bytes;
+    TrafficClass tclass;
+};
+
+class Scratchpad
+{
+  public:
+    explicit Scratchpad(u64 capacity_bytes);
+
+    /**
+     * Makes every object in `uses` resident at once. Returns the DRAM
+     * actions performed (loads for misses, write-backs for evicted
+     * dirty objects). Aborts if the combined set exceeds capacity.
+     */
+    std::vector<MemAction> use(const std::vector<ObjUse> &uses);
+
+    /** Frees an object without write-back (dead value). */
+    void drop(u64 id);
+
+    /** Writes back and frees all dirty objects. */
+    std::vector<MemAction> flush();
+
+    u64 residentBytes() const { return residentBytes_; }
+    u64 capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        u64 bytes;
+        bool dirty;
+        TrafficClass storeClass;
+        std::list<u64>::iterator lruIt;
+    };
+
+    void evictFor(u64 needed, const std::vector<ObjUse> &pinned,
+                  std::vector<MemAction> &actions);
+
+    u64 capacity_;
+    u64 residentBytes_ = 0;
+    std::list<u64> lru_; ///< Front = most recently used.
+    std::unordered_map<u64, Entry> entries_;
+};
+
+} // namespace ive
+
+#endif // IVE_SIM_MEMORY_HH

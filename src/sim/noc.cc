@@ -1,0 +1,19 @@
+#include "sim/noc.hh"
+
+#include "common/bitops.hh"
+
+namespace ive {
+
+TransposeCost
+transposeCost(const IveConfig &cfg, u64 total_bytes)
+{
+    TransposeCost c;
+    c.bytesPerCore = divCeil(total_bytes, cfg.cores);
+    // Local transpose and the fixed-wire global exchange are pipelined;
+    // each core moves its share at the port rate twice (out and in).
+    c.cycles = 2.0 * static_cast<double>(c.bytesPerCore) /
+               cfg.nocBytesPerCycle;
+    return c;
+}
+
+} // namespace ive

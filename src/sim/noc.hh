@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Hierarchical NoC transpose model (paper SIV-E, Fig. 10).
+ *
+ * ExpandQuery/ColTor run under query-level parallelism (one query per
+ * core); RowSel runs under coefficient-level parallelism (coefficient
+ * slices spread across cores). Moving between the two layouts is a
+ * data transposition: a local per-core transpose of
+ * (lanes/cores)^2 blocks followed by a fixed-wire global exchange in
+ * which each lane talks to exactly one lane of one other core. The
+ * cost model charges bytes over a per-core transpose port; overhead
+ * scales linearly with core count, as the paper argues.
+ */
+
+#ifndef IVE_SIM_NOC_HH
+#define IVE_SIM_NOC_HH
+
+#include "common/types.hh"
+#include "sim/config.hh"
+
+namespace ive {
+
+struct TransposeCost
+{
+    u64 bytesPerCore;
+    double cycles;
+};
+
+/**
+ * Cost of transposing `total_bytes` of ciphertext data between the QLP
+ * and CLP layouts, distributed over all cores.
+ */
+TransposeCost transposeCost(const IveConfig &cfg, u64 total_bytes);
+
+} // namespace ive
+
+#endif // IVE_SIM_NOC_HH

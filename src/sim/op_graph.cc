@@ -1,0 +1,130 @@
+#include "sim/op_graph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ive {
+
+void
+ExecStats::accumulate(const ExecStats &other, bool sequential)
+{
+    if (sequential)
+        cycles += other.cycles;
+    else
+        cycles = std::max(cycles, other.cycles);
+    for (int i = 0; i < kNumFuKinds; ++i)
+        busyCycles[i] += other.busyCycles[i];
+    for (int i = 0; i < kNumTrafficClasses; ++i)
+        trafficBytes[i] += other.trafficBytes[i];
+}
+
+ExecStats
+simulate(const OpGraph &graph,
+         const std::array<UnitDesc, kNumFuKinds> &units)
+{
+    // Dependency-driven list schedule: an op enters its unit's ready
+    // heap when every dependency has finished; each step executes the
+    // op that can start earliest across all units (ties broken by
+    // program order, which keeps DMA streams in issue order).
+    ExecStats stats;
+    size_t n = graph.ops.size();
+    if (n == 0)
+        return stats;
+
+    std::vector<double> finish(n, 0.0);
+    std::vector<int> pending(n, 0);
+    std::vector<std::vector<u32>> successors(n);
+    for (size_t i = 0; i < n; ++i) {
+        const SimOp &op = graph.ops[i];
+        if (op.dep0 != SimOp::kNoDep) {
+            ive_assert(op.dep0 < i);
+            ++pending[i];
+            successors[op.dep0].push_back(static_cast<u32>(i));
+        }
+        if (op.dep1 != SimOp::kNoDep && op.dep1 != op.dep0) {
+            ive_assert(op.dep1 < i);
+            ++pending[i];
+            successors[op.dep1].push_back(static_cast<u32>(i));
+        }
+    }
+
+    // Ready heap per unit kind: (readyTime, opId), min-first.
+    using Entry = std::pair<double, u32>;
+    std::array<std::vector<Entry>, kNumFuKinds> ready;
+    auto cmp = [](const Entry &a, const Entry &b) { return a > b; };
+    auto push_ready = [&](u32 id, double t) {
+        int k = static_cast<int>(graph.ops[id].unit);
+        ready[k].emplace_back(t, id);
+        std::push_heap(ready[k].begin(), ready[k].end(), cmp);
+    };
+
+    std::array<std::vector<double>, kNumFuKinds> next_free;
+    for (int k = 0; k < kNumFuKinds; ++k) {
+        int copies = std::max(1, units[k].copies);
+        next_free[k].assign(copies, 0.0);
+        ive_assert(units[k].throughput > 0.0 ||
+                   ready[k].empty());
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        if (pending[i] == 0)
+            push_ready(static_cast<u32>(i), 0.0);
+    }
+
+    size_t executed = 0;
+    while (executed < n) {
+        // Pick the (unit, op) pair with the earliest feasible start.
+        int best_k = -1;
+        double best_start = 0.0;
+        size_t best_copy = 0;
+        for (int k = 0; k < kNumFuKinds; ++k) {
+            if (ready[k].empty())
+                continue;
+            size_t copy = 0;
+            for (size_t c = 1; c < next_free[k].size(); ++c) {
+                if (next_free[k][c] < next_free[k][copy])
+                    copy = c;
+            }
+            double start =
+                std::max(ready[k].front().first, next_free[k][copy]);
+            if (best_k < 0 || start < best_start) {
+                best_k = k;
+                best_start = start;
+                best_copy = copy;
+            }
+        }
+        ive_assert(best_k >= 0);
+
+        std::pop_heap(ready[best_k].begin(), ready[best_k].end(), cmp);
+        u32 id = ready[best_k].back().second;
+        ready[best_k].pop_back();
+
+        const SimOp &op = graph.ops[id];
+        const UnitDesc &desc = units[best_k];
+        double occupancy = op.work / desc.throughput;
+        next_free[best_k][best_copy] = best_start + occupancy;
+        finish[id] = best_start + occupancy + desc.latency;
+
+        stats.busyCycles[best_k] += occupancy;
+        if (op.tclass != TrafficClass::None)
+            stats.trafficBytes[static_cast<int>(op.tclass)] += op.work;
+        stats.cycles = std::max(stats.cycles, finish[id]);
+
+        for (u32 succ : successors[id]) {
+            if (--pending[succ] == 0) {
+                double t = 0.0;
+                const SimOp &s = graph.ops[succ];
+                if (s.dep0 != SimOp::kNoDep)
+                    t = std::max(t, finish[s.dep0]);
+                if (s.dep1 != SimOp::kNoDep)
+                    t = std::max(t, finish[s.dep1]);
+                push_ready(succ, t);
+            }
+        }
+        ++executed;
+    }
+    return stats;
+}
+
+} // namespace ive

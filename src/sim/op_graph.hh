@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Operation graph and the dependency-driven executor (paper SVI-A:
+ * "the simulator constructs an operation graph respecting data
+ * dependencies... operations are issued once dependencies are cleared,
+ * decomposed into core functions, and dispatched to appropriate units;
+ * each functional unit maintains a separate queue").
+ *
+ * Ops are emitted in program order (a valid topological order); the
+ * executor performs a one-pass list schedule: an op starts at
+ * max(latest dependency finish, its unit's next free cycle). Ops bound
+ * to different units overlap freely; ops sharing a unit execute in
+ * queue (program) order, which models in-order per-FU issue.
+ */
+
+#ifndef IVE_SIM_OP_GRAPH_HH
+#define IVE_SIM_OP_GRAPH_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ive {
+
+/** Functional-unit classes inside one IVE core (plus memory ports). */
+enum class FuKind : u8 {
+    SysNttu,   ///< NTT/iNTT work (points).
+    Gemm,      ///< GEMM work (MACs); same silicon as SysNttu when unified.
+    Ewu,       ///< Element-wise modular MACs.
+    Icrtu,     ///< iCRT + bit extraction (coefficients).
+    Autou,     ///< Automorphism permutation (coefficients).
+    HbmPort,   ///< Per-core HBM channel (bytes).
+    LpddrPort, ///< Per-core LPDDR share (bytes).
+    NocPort,   ///< Transpose interconnect (bytes).
+    NumKinds,
+};
+
+constexpr int kNumFuKinds = static_cast<int>(FuKind::NumKinds);
+
+/** DRAM traffic classes (Fig. 8 categories plus RowSel streams). */
+enum class TrafficClass : u8 {
+    CtLoad,
+    CtStore,
+    EvkLoad,
+    RgswLoad,
+    DbLoad,
+    QueryLoad,
+    OutStore,
+    None,
+    NumClasses,
+};
+
+constexpr int kNumTrafficClasses =
+    static_cast<int>(TrafficClass::NumClasses);
+
+struct SimOp
+{
+    FuKind unit;
+    double work;       ///< Unit-specific amount (points/MACs/bytes...).
+    u32 dep0 = kNoDep; ///< Up to two explicit dependencies.
+    u32 dep1 = kNoDep;
+    TrafficClass tclass = TrafficClass::None;
+
+    static constexpr u32 kNoDep = 0xffffffffu;
+};
+
+class OpGraph
+{
+  public:
+    /** Adds an op; returns its id. Dependencies must precede it. */
+    u32
+    add(FuKind unit, double work, u32 dep0 = SimOp::kNoDep,
+        u32 dep1 = SimOp::kNoDep, TrafficClass tc = TrafficClass::None)
+    {
+        ops.push_back({unit, work, dep0, dep1, tc});
+        return static_cast<u32>(ops.size() - 1);
+    }
+
+    std::vector<SimOp> ops;
+};
+
+/** Per-unit timing/throughput description. */
+struct UnitDesc
+{
+    double throughput = 1.0; ///< Work per cycle.
+    double latency = 0.0;    ///< Pipeline fill latency (cycles).
+    int copies = 1;          ///< Identical units load-balanced.
+};
+
+struct ExecStats
+{
+    double cycles = 0.0; ///< Makespan.
+    std::array<double, kNumFuKinds> busyCycles{};
+    std::array<double, kNumTrafficClasses> trafficBytes{};
+
+    void accumulate(const ExecStats &other, bool sequential);
+};
+
+/** One-pass list-schedule execution of the graph. */
+ExecStats simulate(const OpGraph &graph,
+                   const std::array<UnitDesc, kNumFuKinds> &units);
+
+} // namespace ive
+
+#endif // IVE_SIM_OP_GRAPH_HH

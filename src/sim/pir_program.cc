@@ -1,0 +1,541 @@
+#include "sim/pir_program.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "sim/noc.hh"
+
+namespace ive {
+
+namespace {
+
+// Object-id name spaces for the scratchpad replay.
+constexpr u64 kEvkBase = u64{1} << 60;
+constexpr u64 kSelBase = u64{2} << 60;
+constexpr u64 kNodeBase = u64{3} << 60;
+constexpr u64 kLeafBase = u64{4} << 60;
+constexpr u64 kMiscBase = u64{5} << 60;
+
+u64
+nodeId(int t, u64 j)
+{
+    return kNodeBase + (static_cast<u64>(t) << 44) + j;
+}
+
+/** Shared machinery: scratchpad replay emitting DMA + compute ops. */
+class PhaseBuilder
+{
+  public:
+    PhaseBuilder(const PirParams &params, const IveConfig &cfg,
+                 u64 capacity)
+        : params_(params), cfg_(cfg), sizes_(objectSizes(params, cfg)),
+          pad_(capacity)
+    {
+        kn_ = static_cast<u64>(params.he.primes.empty()
+                                   ? 4
+                                   : params.he.primes.size()) *
+              params.he.n;
+    }
+
+    OpGraph g;
+
+    /** Touches objects; returns a dep op id covering their loads. */
+    u32
+    use(const std::vector<ObjUse> &uses)
+    {
+        auto actions = pad_.use(uses);
+        u32 dep = SimOp::kNoDep;
+        for (const auto &a : actions) {
+            u32 producer = SimOp::kNoDep;
+            if (!a.isLoad) {
+                auto it = producer_.find(a.id);
+                if (it != producer_.end())
+                    producer = it->second;
+            }
+            u32 op = g.add(FuKind::HbmPort, static_cast<double>(a.bytes),
+                           producer, SimOp::kNoDep, a.tclass);
+            if (a.isLoad)
+                dep = op; // port FIFO: last load finishes last
+        }
+        return dep;
+    }
+
+    void setProducer(u64 obj, u32 op) { producer_[obj] = op; }
+    void drop(u64 obj) { pad_.drop(obj); }
+
+    void
+    flush()
+    {
+        for (const auto &a : pad_.flush()) {
+            u32 producer = SimOp::kNoDep;
+            auto it = producer_.find(a.id);
+            if (it != producer_.end())
+                producer = it->second;
+            g.add(FuKind::HbmPort, static_cast<double>(a.bytes), producer,
+                  SimOp::kNoDep, a.tclass);
+        }
+    }
+
+    /** Compute ops of one Subs (paper SII-D); returns final op id. */
+    u32
+    emitSubs(u32 load_dep)
+    {
+        double kn = static_cast<double>(kn_);
+        int lks = params_.he.ellKs;
+        u32 c1 = g.add(FuKind::SysNttu, 2 * kn, load_dep); // iNTT a,b
+        u32 c2 = g.add(FuKind::Autou, 2 * kn, c1);
+        u32 c3 = g.add(FuKind::Icrtu,
+                       static_cast<double>(params_.he.n) * lks, c2);
+        u32 c4 = g.add(FuKind::SysNttu, lks * kn, c3); // digit NTTs
+        u32 c5 = g.add(FuKind::Ewu, 2.0 * lks * kn, c4, load_dep);
+        // Even/odd combine: adds, subtract, monomial multiply.
+        return g.add(FuKind::Ewu, 6 * kn, c5);
+    }
+
+    /** Compute ops of one external product (Fig. 3). */
+    u32
+    emitExternalProduct(u32 load_dep)
+    {
+        double kn = static_cast<double>(kn_);
+        int lr = params_.he.ellRgsw;
+        u32 c0 = g.add(FuKind::Ewu, 2 * kn, load_dep); // diff Y - X
+        u32 c1 = g.add(FuKind::SysNttu, 2 * kn, c0);   // iNTT both
+        u32 c2 = g.add(FuKind::Icrtu,
+                       2.0 * static_cast<double>(params_.he.n) * lr, c1);
+        u32 c3 = g.add(FuKind::SysNttu, 2.0 * lr * kn, c2);
+        u32 c4 = g.add(FuKind::Ewu, 2.0 * 2 * lr * kn, c3, load_dep);
+        return g.add(FuKind::Ewu, 2 * kn, c4); // accumulate + X
+    }
+
+    const ObjectSizes &sizes() const { return sizes_; }
+    u64 kn() const { return kn_; }
+
+  private:
+    u64 kn_ = 0;
+    const PirParams &params_;
+    const IveConfig &cfg_;
+    ObjectSizes sizes_;
+    Scratchpad pad_;
+    std::unordered_map<u64, u32> producer_;
+};
+
+/** Effective per-query scratchpad capacity for a phase. */
+u64
+phaseCapacity(const IveConfig &cfg, const SimOptions &opts,
+              u64 dcp_temp_bytes, bool ro, u64 min_pinned)
+{
+    u64 cap = opts.scratchpadOverride ? opts.scratchpadOverride
+                                      : cfg.rfBytes;
+    u64 temp = ro ? 0 : dcp_temp_bytes;
+    u64 eff = cap > temp ? cap - temp : 0;
+    // The replay needs room for one op's pinned set regardless.
+    return std::max(eff, min_pinned);
+}
+
+ScheduleConfig
+resolveSchedule(const ScheduleConfig &in, int tree_depth, u64 capacity,
+                u64 selector_bytes, u64 ct_bytes)
+{
+    ScheduleConfig sc = in;
+    if (sc.kind == ScheduleKind::HS && sc.subtreeDepth <= 0) {
+        int h = maxSubtreeDepth(capacity, selector_bytes, ct_bytes,
+                                sc.subtreeDfs, 0);
+        sc.subtreeDepth = std::max(1, h);
+    }
+    if (sc.kind == ScheduleKind::HS)
+        sc.subtreeDepth = std::min(sc.subtreeDepth, std::max(1, tree_depth));
+    return sc;
+}
+
+/** Expansion phase for one query (tree + selector assembly). */
+void
+buildExpand(PhaseBuilder &b, const PirParams &params,
+            const ScheduleConfig &sched, bool include_selectors)
+{
+    const ObjectSizes &s = b.sizes();
+    int depth = params.expansionDepth();
+    u64 used = params.usedLeaves();
+
+    auto ops = makeExpansionSchedule(depth, sched);
+
+    // Root = query ciphertext, loaded from DRAM.
+    {
+        std::vector<ObjUse> u{{nodeId(0, 0), s.ctBytes, false, false,
+                               TrafficClass::QueryLoad,
+                               TrafficClass::CtStore}};
+        b.use(u);
+    }
+
+    for (const auto &op : ops) {
+        if (op.index >= used)
+            continue; // pruned branch (leaf indices out of range)
+        u64 parent = nodeId(op.depth, op.index);
+        u64 even = nodeId(op.depth + 1, op.index);
+        u64 odd_idx = op.index + (u64{1} << op.depth);
+        bool want_odd = odd_idx < used;
+
+        std::vector<ObjUse> uses;
+        uses.push_back({kEvkBase + static_cast<u64>(op.depth),
+                        s.evkBytes, false, false, TrafficClass::EvkLoad,
+                        TrafficClass::CtStore});
+        uses.push_back({parent, s.ctBytes, false, true,
+                        TrafficClass::CtLoad, TrafficClass::CtStore});
+        uses.push_back({even, s.ctBytes, true, true, TrafficClass::CtLoad,
+                        TrafficClass::CtStore});
+        if (want_odd) {
+            uses.push_back({nodeId(op.depth + 1, odd_idx), s.ctBytes,
+                            true, true, TrafficClass::CtLoad,
+                            TrafficClass::CtStore});
+        }
+        u32 dep = b.use(uses);
+        u32 fin = b.emitSubs(dep);
+        b.setProducer(even, fin);
+        if (want_odd)
+            b.setProducer(nodeId(op.depth + 1, odd_idx), fin);
+        b.drop(parent);
+    }
+
+    if (include_selectors) {
+        // RGSW selector assembly: d * ellRgsw external products with
+        // RGSW(s), consuming the gadget-row leaves.
+        int lr = params.he.ellRgsw;
+        for (int t = 0; t < params.d; ++t) {
+            for (int k = 0; k < lr; ++k) {
+                u64 leaf = nodeId(depth, params.d0 +
+                                             static_cast<u64>(t) * lr +
+                                             k);
+                u64 row = kSelBase + (static_cast<u64>(t) << 32) + k;
+                std::vector<ObjUse> uses{
+                    {kMiscBase + 1, s.rgswBytes, false, false,
+                     TrafficClass::RgswLoad, TrafficClass::CtStore},
+                    {leaf, s.ctBytes, false, true, TrafficClass::CtLoad,
+                     TrafficClass::CtStore},
+                    {row, s.ctBytes, true, true, TrafficClass::CtLoad,
+                     TrafficClass::CtStore},
+                };
+                u32 dep = b.use(uses);
+                u32 fin = b.emitExternalProduct(dep);
+                b.setProducer(row, fin);
+            }
+        }
+    }
+    b.flush();
+}
+
+/** Reduction (ColTor) phase for one query at the given tree depth. */
+void
+buildColtor(PhaseBuilder &b, const PirParams &params,
+            const ScheduleConfig &sched, int depth, int selector_offset)
+{
+    (void)params;
+    const ObjectSizes &s = b.sizes();
+    auto ops = makeReductionSchedule(depth, sched);
+
+    for (const auto &op : ops) {
+        u64 stride = u64{1} << op.depth;
+        u64 base = 2 * stride * op.index;
+        u64 x = nodeId(op.depth, base);
+        u64 y = nodeId(op.depth, base + stride);
+        u64 z = nodeId(op.depth + 1, base);
+        std::vector<ObjUse> uses{
+            {kSelBase + static_cast<u64>(selector_offset + op.depth),
+             s.rgswBytes, false, false, TrafficClass::RgswLoad,
+             TrafficClass::CtStore},
+            {x, s.ctBytes, false, false, TrafficClass::CtLoad,
+             TrafficClass::CtStore},
+            {y, s.ctBytes, false, false, TrafficClass::CtLoad,
+             TrafficClass::CtStore},
+            {z, s.ctBytes, true, true, TrafficClass::CtLoad,
+             TrafficClass::CtStore},
+        };
+        u32 dep = b.use(uses);
+        u32 fin = b.emitExternalProduct(dep);
+        b.setProducer(z, fin);
+        b.drop(x);
+        b.drop(y);
+    }
+    b.flush();
+}
+
+/** RowSel GEMM for one core's coefficient slices. */
+void
+buildRowsel(PhaseBuilder &b, const PirParams &params, const IveConfig &cfg,
+            int batch, FuKind db_port)
+{
+    const ObjectSizes &s = b.sizes();
+    (void)s;
+    u64 slices = b.kn() / cfg.cores;
+    double entries = static_cast<double>(params.numEntries());
+    double d0 = static_cast<double>(params.d0);
+
+    for (u64 sl = 0; sl < slices; ++sl) {
+        u32 db = b.g.add(db_port, entries * cfg.wordBytes, SimOp::kNoDep,
+                         SimOp::kNoDep, TrafficClass::DbLoad);
+        u32 qu = b.g.add(FuKind::HbmPort, d0 * 2 * batch * cfg.wordBytes,
+                         SimOp::kNoDep, SimOp::kNoDep,
+                         TrafficClass::QueryLoad);
+        u32 mm = b.g.add(FuKind::Gemm, 2.0 * entries * batch, db, qu);
+        b.g.add(FuKind::HbmPort,
+                entries / d0 * 2 * batch * cfg.wordBytes, mm,
+                SimOp::kNoDep, TrafficClass::OutStore);
+    }
+}
+
+void
+addScaled(std::array<double, kNumTrafficClasses> &dst,
+          const std::array<double, kNumTrafficClasses> &src, double f)
+{
+    for (int i = 0; i < kNumTrafficClasses; ++i)
+        dst[i] += src[i] * f;
+}
+
+void
+addScaledBusy(std::array<double, kNumFuKinds> &dst,
+              const std::array<double, kNumFuKinds> &src, double f)
+{
+    for (int i = 0; i < kNumFuKinds; ++i)
+        dst[i] += src[i] * f;
+}
+
+} // namespace
+
+PirSimResult
+simulatePir(const PirParams &params, const IveConfig &cfg,
+            const SimOptions &opts)
+{
+    PirSimResult res;
+    res.batch = opts.batch;
+
+    ObjectSizes sizes = objectSizes(params, cfg);
+    auto units = makeUnitTable(cfg);
+    double clk = cfg.clockHz();
+    int qpc = static_cast<int>(divCeil(opts.batch, cfg.cores));
+
+    // --- database placement (paper SV, scale-up) ---
+    switch (opts.placement) {
+      case SimOptions::DbPlacement::Hbm:
+        res.dbOnLpddr = false;
+        break;
+      case SimOptions::DbPlacement::Lpddr:
+        res.dbOnLpddr = true;
+        break;
+      case SimOptions::DbPlacement::Auto: {
+        u64 working = static_cast<u64>(opts.batch) *
+                      sizes.clientUploadBytes * 2;
+        res.dbOnLpddr =
+            cfg.hasLpddr && sizes.dbBytes + working > cfg.hbmCapacity;
+        break;
+      }
+    }
+    if (res.dbOnLpddr && !cfg.hasLpddr)
+        fatal("database does not fit HBM and no LPDDR is configured");
+    FuKind db_port =
+        res.dbOnLpddr ? FuKind::LpddrPort : FuKind::HbmPort;
+
+    // --- column segmentation for huge RowSel output sets ---
+    u64 out_bytes = static_cast<u64>(opts.batch) *
+                    (u64{1} << params.d) * sizes.ctBytes;
+    u64 hbm_free =
+        cfg.hbmCapacity -
+        std::min(cfg.hbmCapacity,
+                 (res.dbOnLpddr ? 0 : sizes.dbBytes) +
+                     static_cast<u64>(opts.batch) *
+                         sizes.clientUploadBytes);
+    u64 budget = std::max<u64>(hbm_free * 8 / 10, 4 * GiB);
+    int seg = 1;
+    while (out_bytes / seg > budget && (u64{1} << params.d) > (u64)seg)
+        seg <<= 1;
+    res.colSegments = seg;
+    int log_seg = log2Exact(static_cast<u64>(seg));
+    int dseg = params.d - log_seg;
+
+    // --- ExpandQuery (+ selector assembly), QLP ---
+    // The expand phase pins an evk plus up to three ciphertexts per
+    // Subs, and RGSW(s) plus two ciphertexts during selector assembly.
+    u64 exp_pinned = std::max(sizes.evkBytes + 4 * sizes.ctBytes,
+                              sizes.rgswBytes + 3 * sizes.ctBytes);
+    u64 exp_cap =
+        phaseCapacity(cfg, opts,
+                      static_cast<u64>(params.he.ellKs) * sizes.polyBytes,
+                      opts.reductionOverlap, exp_pinned);
+    ScheduleConfig exp_sched =
+        resolveSchedule(opts.expandSched, params.expansionDepth(),
+                        exp_cap, sizes.evkBytes, sizes.ctBytes);
+    PhaseBuilder eb(params, cfg, exp_cap);
+    buildExpand(eb, params, exp_sched, true);
+    ExecStats e_stats = simulate(eb.g, units);
+    res.expandSec = e_stats.cycles * qpc / clk;
+
+    // --- RowSel, CLP ---
+    PhaseBuilder rb(params, cfg, cfg.rfBytes);
+    buildRowsel(rb, params, cfg, opts.batch, db_port);
+    ExecStats r_stats = simulate(rb.g, units);
+    res.rowselSec = r_stats.cycles / clk;
+
+    // --- ColTor, QLP (per segment + final fold across segments) ---
+    u64 col_cap = phaseCapacity(
+        cfg, opts,
+        static_cast<u64>(params.he.ellRgsw) * sizes.ctBytes,
+        opts.reductionOverlap, sizes.rgswBytes + 4 * sizes.ctBytes);
+    ScheduleConfig col_sched = resolveSchedule(
+        opts.coltorSched, dseg, col_cap, sizes.rgswBytes, sizes.ctBytes);
+    ExecStats c_stats{};
+    if (dseg > 0) {
+        PhaseBuilder cb(params, cfg, col_cap);
+        buildColtor(cb, params, col_sched, dseg, 0);
+        c_stats = simulate(cb.g, units);
+    }
+    ExecStats f_stats{};
+    if (log_seg > 0) {
+        PhaseBuilder fb(params, cfg, col_cap);
+        buildColtor(fb, params, col_sched, log_seg, dseg);
+        f_stats = simulate(fb.g, units);
+    }
+    res.coltorSec =
+        (c_stats.cycles * seg + f_stats.cycles) * qpc / clk;
+
+    // --- NoC transposes between parallelism regimes ---
+    TransposeCost t1 = transposeCost(
+        cfg, static_cast<u64>(opts.batch) * params.d0 * sizes.ctBytes);
+    TransposeCost t2 = transposeCost(
+        cfg, static_cast<u64>(opts.batch) * (u64{1} << params.d) *
+                 sizes.ctBytes);
+    res.nocSec = (t1.cycles + t2.cycles) / clk;
+
+    // --- client-data upload over PCIe ---
+    res.commSec = opts.includeComm
+                      ? opts.batch *
+                            static_cast<double>(sizes.clientUploadBytes) /
+                            cfg.pcieBytesPerSec
+                      : 0.0;
+
+    // Planes share one expansion; RowSel/ColTor/NoC repeat per plane.
+    double planes = params.planes;
+    res.rowselSec *= planes;
+    res.coltorSec *= planes;
+    res.nocSec *= planes;
+
+    res.latencySec = res.expandSec + res.rowselSec + res.coltorSec +
+                     res.nocSec + res.commSec;
+    double db_bw =
+        res.dbOnLpddr ? cfg.lpddrBytesPerSec : cfg.hbmBytesPerSec;
+    res.minLatencySec = static_cast<double>(sizes.dbBytes) / db_bw;
+    res.qps = opts.batch / res.latencySec;
+
+    // --- chip-level totals ---
+    addScaled(res.trafficBytes, e_stats.trafficBytes, opts.batch);
+    addScaled(res.trafficBytes, c_stats.trafficBytes,
+              static_cast<double>(opts.batch) * seg * planes);
+    addScaled(res.trafficBytes, f_stats.trafficBytes,
+              static_cast<double>(opts.batch) * planes);
+    addScaled(res.trafficBytes, r_stats.trafficBytes,
+              cfg.cores * planes);
+    addScaledBusy(res.busyCycles, e_stats.busyCycles, opts.batch);
+    addScaledBusy(res.busyCycles, c_stats.busyCycles,
+                  static_cast<double>(opts.batch) * seg * planes);
+    addScaledBusy(res.busyCycles, f_stats.busyCycles,
+                  static_cast<double>(opts.batch) * planes);
+    addScaledBusy(res.busyCycles, r_stats.busyCycles,
+                  cfg.cores * planes);
+
+    // --- energy model (component powers calibrated to Table II) ---
+    double arith_factor = cfg.specialPrimes ? 1.0 : 1.115;
+    double unified_factor = cfg.unifiedNttGemm ? 1.10 : 1.0;
+    auto unit_energy = [&](FuKind kind, double watts_per_core,
+                           int copies, double factor) {
+        return res.busyCycles[static_cast<int>(kind)] *
+               (watts_per_core / std::max(1, copies)) * factor / clk;
+    };
+    double e = 0.0;
+    e += unit_energy(FuKind::SysNttu, cfg.wattsSysNttuPerCore,
+                     cfg.sysNttuPerCore, arith_factor * unified_factor);
+    double gemm_watts = cfg.unifiedNttGemm
+                            ? cfg.wattsSysNttuPerCore
+                            : cfg.wattsGemmAltPerCore;
+    int gemm_copies = cfg.unifiedNttGemm ? cfg.sysNttuPerCore : 1;
+    e += unit_energy(FuKind::Gemm, gemm_watts, gemm_copies,
+                     arith_factor * unified_factor);
+    e += unit_energy(FuKind::Ewu, cfg.wattsEwuPerCore, 1, arith_factor);
+    e += unit_energy(FuKind::Icrtu, cfg.wattsIcrtuPerCore, 1,
+                     arith_factor);
+    e += unit_energy(FuKind::Autou, cfg.wattsAutouPerCore, 1, 1.0);
+
+    // DRAM energy by bytes (HBM rate from Table II peak at full BW).
+    double hbm_j_per_byte = cfg.wattsHbm / cfg.hbmBytesPerSec;
+    double lpddr_j_per_byte = hbm_j_per_byte * 0.6;
+    double hbm_bytes = 0.0, lpddr_bytes = 0.0;
+    for (int i = 0; i < kNumTrafficClasses; ++i) {
+        if (i == static_cast<int>(TrafficClass::DbLoad) && res.dbOnLpddr)
+            lpddr_bytes += res.trafficBytes[i];
+        else
+            hbm_bytes += res.trafficBytes[i];
+    }
+    e += hbm_bytes * hbm_j_per_byte + lpddr_bytes * lpddr_j_per_byte;
+
+    // SRAM activity (calibrated factor) plus static leakage.
+    double active = res.expandSec + res.rowselSec + res.coltorSec;
+    e += cfg.wattsSramPerCore * cfg.cores * active * 0.35;
+    e += cfg.staticFraction * cfg.peakWatts() * res.latencySec;
+
+    res.energyJ = e;
+    res.energyPerQueryJ = e / opts.batch;
+    return res;
+}
+
+PhaseTraffic
+expandTraffic(const PirParams &params, const IveConfig &cfg,
+              u64 capacity_bytes, const ScheduleConfig &sched,
+              bool reduction_overlap)
+{
+    ObjectSizes sizes = objectSizes(params, cfg);
+    u64 temp = reduction_overlap
+                   ? 0
+                   : static_cast<u64>(params.he.ellKs) * sizes.polyBytes;
+    u64 cap = capacity_bytes > temp ? capacity_bytes - temp
+                                    : sizes.evkBytes + 4 * sizes.ctBytes;
+    cap = std::max(cap, sizes.evkBytes + 4 * sizes.ctBytes);
+    ScheduleConfig sc = resolveSchedule(sched, params.expansionDepth(),
+                                        cap, sizes.evkBytes,
+                                        sizes.ctBytes);
+    PhaseBuilder b(params, cfg, cap);
+    buildExpand(b, params, sc, false);
+    ExecStats s = simulate(b.g, makeUnitTable(cfg));
+    PhaseTraffic t;
+    t.ctLoadBytes =
+        s.trafficBytes[static_cast<int>(TrafficClass::CtLoad)] +
+        s.trafficBytes[static_cast<int>(TrafficClass::QueryLoad)];
+    t.ctStoreBytes =
+        s.trafficBytes[static_cast<int>(TrafficClass::CtStore)];
+    t.keyLoadBytes =
+        s.trafficBytes[static_cast<int>(TrafficClass::EvkLoad)];
+    return t;
+}
+
+PhaseTraffic
+coltorTraffic(const PirParams &params, const IveConfig &cfg,
+              u64 capacity_bytes, const ScheduleConfig &sched,
+              bool reduction_overlap)
+{
+    ObjectSizes sizes = objectSizes(params, cfg);
+    u64 temp = reduction_overlap
+                   ? 0
+                   : static_cast<u64>(params.he.ellRgsw) * sizes.ctBytes;
+    u64 min_cap = sizes.rgswBytes + 4 * sizes.ctBytes;
+    u64 cap = capacity_bytes > temp ? capacity_bytes - temp : min_cap;
+    cap = std::max(cap, min_cap);
+    ScheduleConfig sc = resolveSchedule(sched, params.d, cap,
+                                        sizes.rgswBytes, sizes.ctBytes);
+    PhaseBuilder b(params, cfg, cap);
+    buildColtor(b, params, sc, params.d, 0);
+    ExecStats s = simulate(b.g, makeUnitTable(cfg));
+    PhaseTraffic t;
+    t.ctLoadBytes =
+        s.trafficBytes[static_cast<int>(TrafficClass::CtLoad)];
+    t.ctStoreBytes =
+        s.trafficBytes[static_cast<int>(TrafficClass::CtStore)];
+    t.keyLoadBytes =
+        s.trafficBytes[static_cast<int>(TrafficClass::RgswLoad)];
+    return t;
+}
+
+} // namespace ive

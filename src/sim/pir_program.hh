@@ -1,0 +1,111 @@
+/**
+ * @file
+ * PIR phase programs: operation-graph builders plus the top-level
+ * batched-PIR simulation (paper SVI-A performance model).
+ *
+ * Phase structure (strictly sequential, SIV-C):
+ *   ExpandQuery (+ selector assembly)  [QLP, one query per core]
+ *   -> NoC transpose (QLP -> CLP)
+ *   -> RowSel GEMM                     [CLP, coefficient slices]
+ *   -> NoC transpose (CLP -> QLP)
+ *   -> ColTor tournament               [QLP]
+ *
+ * For databases whose RowSel output working set exceeds on-chip-plus-
+ * HBM headroom (128 GB+ single-system points), the column axis is
+ * processed in power-of-two segments: each segment's outputs fold
+ * immediately to one partial ciphertext per query, and the partials
+ * fold in a final stage. Selector ciphertexts for the intra-segment
+ * depths are re-streamed per segment; the simulator accounts for that
+ * traffic (see DESIGN.md).
+ */
+
+#ifndef IVE_SIM_PIR_PROGRAM_HH
+#define IVE_SIM_PIR_PROGRAM_HH
+
+#include "pir/schedule.hh"
+#include "sim/core.hh"
+#include "sim/memory.hh"
+
+namespace ive {
+
+struct SimOptions
+{
+    int batch = 64;
+    ScheduleConfig expandSched{ScheduleKind::HS, true, 0};
+    ScheduleConfig coltorSched{ScheduleKind::HS, true, 0};
+    bool reductionOverlap = true;
+
+    enum class DbPlacement { Auto, Hbm, Lpddr };
+    DbPlacement placement = DbPlacement::Auto;
+
+    /** Include PCIe upload of client-specific data in latency. */
+    bool includeComm = true;
+
+    /** Override per-query scratchpad capacity (0 = config RF size). */
+    u64 scratchpadOverride = 0;
+};
+
+struct PirSimResult
+{
+    // Per-batch phase latencies (seconds).
+    double expandSec = 0.0;
+    double rowselSec = 0.0;
+    double coltorSec = 0.0;
+    double nocSec = 0.0;
+    double commSec = 0.0;
+
+    double latencySec = 0.0;
+    double minLatencySec = 0.0; ///< DB-read lower bound.
+    double qps = 0.0;
+    int batch = 0;
+    bool dbOnLpddr = false;
+    int colSegments = 1;
+
+    double energyJ = 0.0; ///< Per batch.
+    double energyPerQueryJ = 0.0;
+
+    /** Chip-level totals per batch. */
+    std::array<double, kNumTrafficClasses> trafficBytes{};
+    std::array<double, kNumFuKinds> busyCycles{};
+
+    double
+    trafficGiB(TrafficClass tc) const
+    {
+        return trafficBytes[static_cast<int>(tc)] / (1024.0 * 1024.0 *
+                                                     1024.0);
+    }
+};
+
+/** Simulates one batched PIR execution on the accelerator. */
+PirSimResult simulatePir(const PirParams &params, const IveConfig &cfg,
+                         const SimOptions &opts);
+
+/** Per-query DRAM traffic of one phase (Fig. 8 standalone replay). */
+struct PhaseTraffic
+{
+    double ctLoadBytes = 0.0;
+    double ctStoreBytes = 0.0;
+    double keyLoadBytes = 0.0; ///< evk or ct_RGSW.
+
+    double
+    totalBytes() const
+    {
+        return ctLoadBytes + ctStoreBytes + keyLoadBytes;
+    }
+};
+
+/** ExpandQuery traffic for one query at given per-query capacity. */
+PhaseTraffic expandTraffic(const PirParams &params, const IveConfig &cfg,
+                           u64 capacity_bytes,
+                           const ScheduleConfig &sched,
+                           bool reduction_overlap);
+
+/** ColTor traffic for one query at given per-query capacity. */
+PhaseTraffic coltorTraffic(const PirParams &params, const IveConfig &cfg,
+                           u64 capacity_bytes,
+                           const ScheduleConfig &sched,
+                           bool reduction_overlap);
+
+} // namespace ive
+
+#endif // IVE_SIM_PIR_PROGRAM_HH

@@ -1,0 +1,57 @@
+#include "sim/traffic.hh"
+
+namespace ive {
+
+namespace {
+
+PhaseTraffic
+scaleTraffic(PhaseTraffic t, double f)
+{
+    t.ctLoadBytes *= f;
+    t.ctStoreBytes *= f;
+    t.keyLoadBytes *= f;
+    return t;
+}
+
+} // namespace
+
+std::vector<SchedulingStudyRow>
+schedulingStudy(const PirParams &params, const IveConfig &cfg, int batch,
+                u64 cache_small, u64 cache_large)
+{
+    struct Policy
+    {
+        std::string name;
+        u64 capacity;
+        ScheduleConfig sched;
+        bool ro;
+    };
+
+    u64 cap_small = cache_small / cfg.cores;
+    u64 cap_large = cache_large / cfg.cores;
+
+    std::vector<Policy> policies = {
+        {"BFS (64MB)", cap_small, {ScheduleKind::BFS, false, 0}, false},
+        {"BFS (128MB)", cap_large, {ScheduleKind::BFS, false, 0}, false},
+        {"DFS", cap_large, {ScheduleKind::DFS, true, 0}, false},
+        {"HS (w/ BFS)", cap_large, {ScheduleKind::HS, false, 0}, false},
+        {"HS (w/ DFS)", cap_large, {ScheduleKind::HS, true, 0}, false},
+        {"HS+R.O. (w/ DFS)", cap_large, {ScheduleKind::HS, true, 0},
+         true},
+    };
+
+    std::vector<SchedulingStudyRow> rows;
+    for (const auto &p : policies) {
+        SchedulingStudyRow row;
+        row.name = p.name;
+        row.capacityPerQuery = p.capacity;
+        row.expand = scaleTraffic(
+            expandTraffic(params, cfg, p.capacity, p.sched, p.ro), batch);
+        row.coltor = scaleTraffic(
+            coltorTraffic(params, cfg, p.capacity, p.sched, p.ro), batch);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace ive

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Scheduling-policy DRAM-traffic study (reproduces Fig. 8).
+ */
+
+#ifndef IVE_SIM_TRAFFIC_HH
+#define IVE_SIM_TRAFFIC_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/pir_program.hh"
+
+namespace ive {
+
+struct SchedulingStudyRow
+{
+    std::string name;
+    u64 capacityPerQuery; ///< Per-core (= per-query) scratchpad bytes.
+    PhaseTraffic expand;  ///< Batch totals, bytes.
+    PhaseTraffic coltor;
+};
+
+/**
+ * Replays ExpandQuery and ColTor for every scheduling policy of Fig. 8
+ * (BFS at two cache sizes, DFS, HS w/ BFS, HS w/ DFS, HS+R.O. w/ DFS)
+ * and returns batch-total DRAM traffic. cache_small/cache_large are
+ * chip-level capacities (64 MB / 128 MB in the paper), divided evenly
+ * among cores for the per-query replay.
+ */
+std::vector<SchedulingStudyRow>
+schedulingStudy(const PirParams &params, const IveConfig &cfg, int batch,
+                u64 cache_small, u64 cache_large);
+
+} // namespace ive
+
+#endif // IVE_SIM_TRAFFIC_HH

@@ -1,0 +1,99 @@
+#include "system/batch_scheduler.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace ive {
+
+LoadPoint
+simulateLoad(const ServiceModel &service, const SchedulerConfig &cfg,
+             double offered_qps, int num_queries, u64 seed)
+{
+    ive_assert(offered_qps > 0.0 && num_queries > 0);
+    Rng rng(seed);
+
+    // Arrival times.
+    std::vector<double> arrivals(num_queries);
+    double t = 0.0;
+    for (int i = 0; i < num_queries; ++i) {
+        t += rng.exponential(offered_qps);
+        arrivals[i] = t;
+    }
+
+    LoadPoint pt;
+    pt.offeredQps = offered_qps;
+
+    double server_free = 0.0;
+    double latency_sum = 0.0;
+    double latency_max = 0.0;
+    double batch_sum = 0.0;
+    int batches = 0;
+    double last_completion = 0.0;
+
+    size_t next = 0;
+    double horizon_latency_cap =
+        std::max(50.0 * cfg.windowSec, 100.0 * service(1));
+    while (next < arrivals.size()) {
+        double first_arrival = arrivals[next];
+        // The batch closes when the window after its first query
+        // expires or maxBatch queries have arrived, whichever first;
+        // it cannot start before the server is free.
+        double window_close = first_arrival + cfg.windowSec;
+        size_t take = 1;
+        while (next + take < arrivals.size() &&
+               static_cast<int>(take) < cfg.maxBatch &&
+               arrivals[next + take] <=
+                   std::max(window_close, server_free)) {
+            ++take;
+        }
+        double ready = static_cast<int>(take) >= cfg.maxBatch
+                           ? arrivals[next + take - 1]
+                           : std::max(window_close, first_arrival);
+        double start = std::max({ready, server_free, first_arrival});
+        double done = start + service(static_cast<int>(take));
+        server_free = done;
+        last_completion = done;
+
+        for (size_t i = 0; i < take; ++i) {
+            double lat = done - arrivals[next + i];
+            latency_sum += lat;
+            latency_max = std::max(latency_max, lat);
+        }
+        batch_sum += static_cast<double>(take);
+        ++batches;
+        next += take;
+
+        if (latency_max > horizon_latency_cap) {
+            pt.saturated = true;
+            break;
+        }
+    }
+
+    size_t completed = next;
+    pt.avgLatencySec =
+        completed ? latency_sum / static_cast<double>(completed) : 0.0;
+    pt.maxLatencySec = latency_max;
+    pt.avgBatch = batches ? batch_sum / batches : 0.0;
+    pt.completedQps = last_completion > 0.0
+                          ? static_cast<double>(completed) /
+                                last_completion
+                          : 0.0;
+    return pt;
+}
+
+std::vector<LoadPoint>
+loadCurve(const ServiceModel &service, const SchedulerConfig &cfg,
+          const std::vector<double> &offered_qps, int num_queries,
+          u64 seed)
+{
+    std::vector<LoadPoint> out;
+    out.reserve(offered_qps.size());
+    for (double q : offered_qps)
+        out.push_back(simulateLoad(service, cfg, q, num_queries, seed));
+    return out;
+}
+
+} // namespace ive

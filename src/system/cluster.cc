@@ -1,0 +1,63 @@
+#include "system/cluster.hh"
+
+#include "common/logging.hh"
+
+namespace ive {
+
+ClusterResult
+simulateCluster(u64 db_bytes, int systems, const IveConfig &cfg,
+                int batch, u64 d0)
+{
+    ive_assert(systems >= 1 && isPow2(static_cast<u64>(systems)));
+    ClusterResult res;
+    res.systems = systems;
+
+    // Record-level parallelism: each system owns a D/(D0*S) x D0 slice.
+    PirParams slice = PirParams::paperPerf(db_bytes / systems, d0);
+    SimOptions opts;
+    opts.batch = batch;
+    res.perSystem = simulatePir(slice, cfg, opts);
+
+    if (systems == 1) {
+        res.latencySec = res.perSystem.latencySec;
+        res.qps = res.perSystem.qps;
+        res.qpsPerSystem = res.qps;
+        return res;
+    }
+
+    ObjectSizes sizes = objectSizes(slice, cfg);
+
+    // Gather: every other system ships one ciphertext per query to the
+    // finalizing system through the central switch.
+    double gather_bytes = static_cast<double>(systems - 1) * batch *
+                          sizes.ctBytes;
+    res.gatherSec = gather_bytes / cfg.pcieBytesPerSec;
+
+    // Final tournament: (systems - 1) external products per query on
+    // the finalizing system, queries spread across its cores.
+    double folds_per_query = systems - 1;
+    double kn = static_cast<double>(slice.he.primes.empty()
+                                        ? 4
+                                        : slice.he.primes.size()) *
+                slice.he.n;
+    int lr = slice.he.ellRgsw;
+    // Dominant unit occupancy per external product (cycles).
+    auto units = makeUnitTable(cfg);
+    double ntt_cyc = (2 + 2 * lr) * kn /
+                     (units[static_cast<int>(FuKind::SysNttu)].throughput *
+                      units[static_cast<int>(FuKind::SysNttu)].copies);
+    double ewu_cyc = (2.0 * 2 * lr + 4) * kn /
+                     units[static_cast<int>(FuKind::Ewu)].throughput;
+    double fold_cyc = std::max(ntt_cyc, ewu_cyc);
+    int qpc = static_cast<int>(divCeil(batch, cfg.cores));
+    res.finalFoldSec =
+        folds_per_query * fold_cyc * qpc / cfg.clockHz();
+
+    res.latencySec =
+        res.perSystem.latencySec + res.gatherSec + res.finalFoldSec;
+    res.qps = batch / res.latencySec;
+    res.qpsPerSystem = res.qps / systems;
+    return res;
+}
+
+} // namespace ive

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Scale-out IVE cluster with record-level parallelism (paper SV).
+ *
+ * num_systems IVE systems hang off a central PCIe switch. The DB
+ * matrix is partitioned along the D/D0 axis; each system runs RowSel
+ * plus the local part of ColTor on its slice, then the partial results
+ * (one ciphertext per system per query) are gathered onto one system
+ * for the final log2(num_systems) tournament levels. Gather traffic is
+ * a single ciphertext per system per query, so scaling is near-linear.
+ */
+
+#ifndef IVE_SYSTEM_CLUSTER_HH
+#define IVE_SYSTEM_CLUSTER_HH
+
+#include "sim/pir_program.hh"
+
+namespace ive {
+
+struct ClusterResult
+{
+    int systems = 1;
+    PirSimResult perSystem; ///< The per-slice pipeline.
+    double gatherSec = 0.0;
+    double finalFoldSec = 0.0;
+    double latencySec = 0.0;
+    double qps = 0.0;
+    double qpsPerSystem = 0.0;
+};
+
+/**
+ * Simulates PIR over a raw database of db_bytes spread across
+ * `systems` IVE systems (systems must be a power of two).
+ */
+ClusterResult simulateCluster(u64 db_bytes, int systems,
+                              const IveConfig &cfg, int batch,
+                              u64 d0 = 256);
+
+} // namespace ive
+
+#endif // IVE_SYSTEM_CLUSTER_HH

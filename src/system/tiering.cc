@@ -1,0 +1,29 @@
+#include "system/tiering.hh"
+
+namespace ive {
+
+TieringDecision
+placeDatabase(const PirParams &params, const IveConfig &cfg, int batch)
+{
+    TieringDecision d;
+    ObjectSizes sizes = objectSizes(params, cfg);
+    d.dbBytesRaw = params.dbBytes();
+    d.dbBytesPreprocessed = sizes.dbBytes;
+
+    u64 client = static_cast<u64>(batch) * sizes.clientUploadBytes * 2;
+    d.dbOnLpddr = cfg.hasLpddr &&
+                  d.dbBytesPreprocessed + client > cfg.hbmCapacity;
+
+    double expansion =
+        static_cast<double>(d.dbBytesPreprocessed) / d.dbBytesRaw;
+    u64 cap = cfg.hasLpddr ? cfg.lpddrCapacity : cfg.hbmCapacity;
+    d.maxRawDbBytes = static_cast<u64>(cap / expansion);
+    d.fits = d.dbBytesPreprocessed <= cap;
+
+    double bw =
+        d.dbOnLpddr ? cfg.lpddrBytesPerSec : cfg.hbmBytesPerSec;
+    d.scanSec = static_cast<double>(d.dbBytesPreprocessed) / bw;
+    return d;
+}
+
+} // namespace ive

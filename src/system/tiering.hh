@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Heterogeneous-memory database placement (paper SV, scale-up).
+ *
+ * Databases whose preprocessed form fits HBM are served from HBM;
+ * larger ones are offloaded to the LPDDR expanders and streamed during
+ * RowSel, while HBM keeps serving the memory-bound client-specific
+ * steps. Batching amortizes the DB scan, so the lower LPDDR bandwidth
+ * costs little at saturation (Fig. 13d).
+ */
+
+#ifndef IVE_SYSTEM_TIERING_HH
+#define IVE_SYSTEM_TIERING_HH
+
+#include "sim/core.hh"
+
+namespace ive {
+
+struct TieringDecision
+{
+    bool dbOnLpddr = false;
+    u64 dbBytesRaw = 0;
+    u64 dbBytesPreprocessed = 0;
+    double scanSec = 0.0; ///< One full-DB read at the serving tier.
+    bool fits = true;     ///< DB fits this system at all.
+    u64 maxRawDbBytes = 0;///< Largest raw DB one system supports.
+};
+
+TieringDecision placeDatabase(const PirParams &params,
+                              const IveConfig &cfg, int batch);
+
+} // namespace ive
+
+#endif // IVE_SYSTEM_TIERING_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Subs (automorphism + key switching) tests, plus the partial trace
+ * used by the KsPIR-like scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bfv/automorphism.hh"
+#include "bfv/noise.hh"
+#include "pir/kspir.hh"
+
+using namespace ive;
+
+namespace {
+
+HeContextConfig
+smallCfg()
+{
+    HeContextConfig cfg;
+    cfg.n = 256;
+    return cfg;
+}
+
+/** Expected automorphism image of a plaintext (mod P, P = 2^32). */
+std::vector<u64>
+plainAuto(const HeContext &ctx, const std::vector<u64> &plain, u64 r)
+{
+    u64 n = ctx.n();
+    u64 p = ctx.plainModulus();
+    std::vector<u64> out(n, 0);
+    for (u64 i = 0; i < n; ++i) {
+        u64 j = (i * r) % (2 * n);
+        if (j >= n)
+            out[j - n] = (p - plain[i] % p) % p;
+        else
+            out[j] = plain[i];
+    }
+    return out;
+}
+
+} // namespace
+
+class SubsTest : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(SubsTest, MatchesPlaintextAutomorphism)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(1);
+    SecretKey sk(ctx, rng);
+    u64 n = ctx.n();
+    u64 r = GetParam() == 0 ? n + 1 : n / GetParam() + 1;
+
+    Rng prng(2);
+    std::vector<u64> plain(n);
+    for (auto &v : plain)
+        v = prng.uniform(ctx.plainModulus());
+
+    auto ct = encryptPlain(ctx, sk, rng, plain);
+    EvkKey evk = genEvk(ctx, sk, rng, r);
+    auto rotated = subs(ctx, ct, evk);
+    EXPECT_EQ(decrypt(ctx, sk, rotated), plainAuto(ctx, plain, r));
+}
+
+INSTANTIATE_TEST_SUITE_P(ExpansionRs, SubsTest,
+                         ::testing::Values(0u, 2u, 4u, 8u, 16u));
+
+TEST(Subs, NoiseStaysBounded)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(3);
+    SecretKey sk(ctx, rng);
+    std::vector<u64> plain(ctx.n(), 0);
+    plain[1] = 123;
+    auto ct = encryptPlain(ctx, sk, rng, plain);
+    EvkKey evk = genEvk(ctx, sk, rng, ctx.n() + 1);
+    auto rotated = subs(ctx, ct, evk);
+    auto expected = plainAuto(ctx, plain, ctx.n() + 1);
+    NoiseReport rep = measureNoise(ctx, sk, rotated, expected);
+    // One key switch adds a bounded amount over fresh (~4 bits) noise.
+    EXPECT_LT(rep.noiseBits, 30.0);
+    EXPECT_GT(rep.budgetBits, 40.0);
+}
+
+TEST(Subs, ExpansionIdentity)
+{
+    // The ExpandQuery even/odd split: ct + Subs(ct, N+1) doubles the
+    // even coefficients and zeroes the odd ones.
+    HeContext ctx(smallCfg());
+    Rng rng(4);
+    SecretKey sk(ctx, rng);
+    u64 n = ctx.n();
+    std::vector<u64> plain(n);
+    Rng prng(5);
+    for (auto &v : plain)
+        v = prng.uniform(1 << 20);
+
+    auto ct = encryptPlain(ctx, sk, rng, plain);
+    EvkKey evk = genEvk(ctx, sk, rng, n + 1);
+    auto rot = subs(ctx, ct, evk);
+    BfvCiphertext even = ct;
+    addInPlace(ctx, even, rot);
+    auto dec = decrypt(ctx, sk, even);
+    u64 p = ctx.plainModulus();
+    for (u64 i = 0; i < n; ++i) {
+        if (i % 2 == 0)
+            EXPECT_EQ(dec[i], (2 * plain[i]) % p) << i;
+        else
+            EXPECT_EQ(dec[i], 0u) << i;
+    }
+}
+
+TEST(PartialTrace, KeepsStridedCoefficients)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(6);
+    SecretKey sk(ctx, rng);
+    u64 n = ctx.n();
+    int steps = 3;
+    u64 stride = u64{1} << steps;
+
+    // Payload with data only at multiples of 2^steps, pre-divided by
+    // 2^steps mod Q so the trace's scaling cancels.
+    Rng prng(7);
+    std::vector<u64> data(n, 0);
+    for (u64 i = 0; i < n; i += stride)
+        data[i] = prng.uniform(ctx.plainModulus());
+
+    const Ring &ring = ctx.ring();
+    auto inv = ring.base.inverseResidues(stride);
+    RnsPoly payload(ring, Domain::Coeff);
+    for (u64 i = 0; i < n; ++i) {
+        for (int p = 0; p < ring.k(); ++p) {
+            const Modulus &m = ring.base.modulus(p);
+            u64 v = m.mul(data[i] % m.value(), ctx.deltaRns()[p]);
+            payload.set(p, i, m.mul(v, inv[p]));
+        }
+    }
+    payload.toNtt(ring);
+    auto ct = encryptPayload(ctx, sk, rng, payload);
+
+    std::vector<EvkKey> evks;
+    for (int t = 0; t < steps; ++t)
+        evks.push_back(genEvk(ctx, sk, rng, n / (u64{1} << t) + 1));
+    auto traced = partialTrace(ctx, ct, evks, steps);
+    auto dec = decrypt(ctx, sk, traced);
+    for (u64 i = 0; i < n; ++i)
+        EXPECT_EQ(dec[i], data[i]) << i;
+}
+
+TEST(Evk, ByteSizeScalesWithEll)
+{
+    HeContextConfig cfg;
+    cfg.n = 4096;
+    HeContext ctx(cfg);
+    EXPECT_EQ(EvkKey::byteSize(ctx, 28.0),
+              static_cast<u64>(cfg.ellKs) * 112 * 1024);
+}

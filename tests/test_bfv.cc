@@ -1,0 +1,166 @@
+/**
+ * @file
+ * BFV encryption tests: roundtrip, homomorphic linearity, noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bfv/bfv.hh"
+#include "bfv/noise.hh"
+
+using namespace ive;
+
+namespace {
+
+HeContextConfig
+smallCfg()
+{
+    HeContextConfig cfg;
+    cfg.n = 256;
+    return cfg;
+}
+
+std::vector<u64>
+randomPlain(const HeContext &ctx, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u64> out(ctx.n());
+    for (auto &v : out)
+        v = rng.uniform(ctx.plainModulus());
+    return out;
+}
+
+} // namespace
+
+TEST(Bfv, EncryptDecryptRoundTrip)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(1);
+    SecretKey sk(ctx, rng);
+    auto plain = randomPlain(ctx, 2);
+    auto ct = encryptPlain(ctx, sk, rng, plain);
+    EXPECT_EQ(decrypt(ctx, sk, ct), plain);
+}
+
+TEST(Bfv, ZeroDecryptsToZero)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(3);
+    SecretKey sk(ctx, rng);
+    auto ct = encryptZero(ctx, sk, rng);
+    for (u64 v : decrypt(ctx, sk, ct))
+        EXPECT_EQ(v, 0u);
+}
+
+TEST(Bfv, HomomorphicAddSub)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(4);
+    SecretKey sk(ctx, rng);
+    auto pa = randomPlain(ctx, 5);
+    auto pb = randomPlain(ctx, 6);
+    auto ca = encryptPlain(ctx, sk, rng, pa);
+    auto cb = encryptPlain(ctx, sk, rng, pb);
+
+    BfvCiphertext sum = ca;
+    addInPlace(ctx, sum, cb);
+    auto dec = decrypt(ctx, sk, sum);
+    u64 p = ctx.plainModulus();
+    for (u64 i = 0; i < ctx.n(); ++i)
+        EXPECT_EQ(dec[i], (pa[i] + pb[i]) % p);
+
+    BfvCiphertext diff = ca;
+    subInPlace(ctx, diff, cb);
+    dec = decrypt(ctx, sk, diff);
+    for (u64 i = 0; i < ctx.n(); ++i)
+        EXPECT_EQ(dec[i], (pa[i] + p - pb[i]) % p);
+}
+
+TEST(Bfv, PlainMulAccSelectsScaledEntry)
+{
+    // The RowSel primitive: ct encrypting a scalar c times a plaintext
+    // polynomial decrypts to c * poly.
+    HeContext ctx(smallCfg());
+    Rng rng(7);
+    SecretKey sk(ctx, rng);
+
+    std::vector<u64> one_hot(ctx.n(), 0);
+    one_hot[0] = 1; // constant polynomial 1
+    auto ct = encryptPlain(ctx, sk, rng, one_hot);
+
+    auto db_entry = randomPlain(ctx, 8);
+    RnsPoly plain = liftPlain(ctx, db_entry);
+
+    BfvCiphertext acc;
+    acc.a = RnsPoly(ctx.ring(), Domain::Ntt);
+    acc.b = RnsPoly(ctx.ring(), Domain::Ntt);
+    plainMulAcc(ctx, acc, plain, ct);
+    EXPECT_EQ(decrypt(ctx, sk, acc), db_entry);
+}
+
+TEST(Bfv, PlainMulAccWithZeroSelector)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(9);
+    SecretKey sk(ctx, rng);
+    auto ct = encryptZero(ctx, sk, rng);
+    RnsPoly plain = liftPlain(ctx, randomPlain(ctx, 10));
+    BfvCiphertext acc;
+    acc.a = RnsPoly(ctx.ring(), Domain::Ntt);
+    acc.b = RnsPoly(ctx.ring(), Domain::Ntt);
+    plainMulAcc(ctx, acc, plain, ct);
+    for (u64 v : decrypt(ctx, sk, acc))
+        EXPECT_EQ(v, 0u);
+}
+
+TEST(Bfv, FreshNoiseIsSmall)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(11);
+    SecretKey sk(ctx, rng);
+    auto plain = randomPlain(ctx, 12);
+    auto ct = encryptPlain(ctx, sk, rng, plain);
+    NoiseReport rep = measureNoise(ctx, sk, ct, plain);
+    EXPECT_LT(rep.noiseBits, 10.0);
+    EXPECT_GT(rep.budgetBits, 60.0);
+}
+
+TEST(Bfv, NoiseGrowsSublinearlyUnderAddition)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(13);
+    SecretKey sk(ctx, rng);
+    std::vector<u64> zero(ctx.n(), 0);
+
+    BfvCiphertext acc = encryptZero(ctx, sk, rng);
+    for (int i = 0; i < 63; ++i)
+        addInPlace(ctx, acc, encryptZero(ctx, sk, rng));
+    NoiseReport rep = measureNoise(ctx, sk, acc, zero);
+    // 64 fresh ciphertexts: noise no more than ~6 bits above fresh.
+    EXPECT_LT(rep.noiseBits, 12.0);
+}
+
+TEST(Bfv, MonomialMulRotatesPlaintext)
+{
+    HeContext ctx(smallCfg());
+    Rng rng(14);
+    SecretKey sk(ctx, rng);
+    std::vector<u64> plain(ctx.n(), 0);
+    plain[3] = 77;
+    auto ct = encryptPlain(ctx, sk, rng, plain);
+    RnsPoly mono = RnsPoly::monomialNtt(ctx.ring(), 2);
+    monomialMulInPlace(ctx, ct, mono);
+    auto dec = decrypt(ctx, sk, ct);
+    EXPECT_EQ(dec[5], 77u);
+    EXPECT_EQ(dec[3], 0u);
+}
+
+TEST(Bfv, ByteSizeMatchesPaper)
+{
+    // Paper SII-B: a BFV ciphertext under RNS is ~112 KB for N = 2^12
+    // at 28-bit words (2 polys x 4 primes x 4096 coeffs x 3.5 B).
+    HeContextConfig cfg;
+    cfg.n = 4096;
+    HeContext ctx(cfg);
+    EXPECT_EQ(BfvCiphertext::byteSize(ctx, 28.0), 112u * 1024);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * KsPIR-like scheme tests (Table IV baseline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pir/kspir.hh"
+
+using namespace ive;
+
+namespace {
+
+KsPirParams
+smallKsParams(int trace_steps)
+{
+    KsPirParams kp;
+    kp.base = PirParams::testSmall();
+    kp.base.he.n = 256;
+    kp.base.d0 = 8;
+    kp.base.d = 2;
+    kp.traceSteps = trace_steps;
+    return kp;
+}
+
+} // namespace
+
+class KsPirSteps : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KsPirSteps, RetrievesSlots)
+{
+    KsPirParams kp = smallKsParams(GetParam());
+    HeContext ctx(kp.base.he);
+    KsPir pir(ctx, kp, 11);
+    pir.fillRandom(12);
+
+    for (u64 target : {u64{0}, u64{9}, u64{31}}) {
+        auto q = pir.makeQuery(target);
+        auto resp = pir.answer(q);
+        EXPECT_EQ(pir.decode(resp), pir.expectedSlots(target))
+            << "target " << target;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TraceDepths, KsPirSteps,
+                         ::testing::Values(0, 1, 3, 4));
+
+TEST(KsPir, SlotGeometry)
+{
+    KsPirParams kp = smallKsParams(3);
+    EXPECT_EQ(kp.slotStride(), 8u);
+    EXPECT_EQ(kp.slotsPerEntry(), 256u / 8);
+}
+
+TEST(KsPir, ForDbSizeUsesFinerFirstDimension)
+{
+    KsPirParams kp = KsPirParams::forDbSize(u64{1} << 31);
+    EXPECT_EQ(kp.base.d0, 64u);
+    // Same entry count as OnionPIR-style params, more folding depth.
+    PirParams onion = PirParams::forDbSize(u64{1} << 31);
+    EXPECT_EQ(kp.base.numEntries(), onion.numEntries());
+    EXPECT_GT(kp.base.d, onion.d);
+}
+
+TEST(KsPir, SetEntryRoundTrip)
+{
+    KsPirParams kp = smallKsParams(2);
+    HeContext ctx(kp.base.he);
+    KsPir pir(ctx, kp, 13);
+    pir.fillRandom(14);
+
+    std::vector<u64> slots(kp.slotsPerEntry());
+    for (u64 i = 0; i < slots.size(); ++i)
+        slots[i] = (i * 7 + 1) & 0xffffffffu;
+    pir.setEntry(5, slots);
+    EXPECT_EQ(pir.expectedSlots(5), slots);
+
+    auto resp = pir.answer(pir.makeQuery(5));
+    EXPECT_EQ(pir.decode(resp), slots);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the analytic models: complexity (Fig. 4/7d), GPU roofline
+ * (Fig. 6), area/power cost (Table II, Fig. 13e).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "model/cost.hh"
+#include "model/roofline.hh"
+
+using namespace ive;
+
+TEST(Complexity, RowselDominatesAtPaperPoints)
+{
+    // Fig. 4a: RowSel accounts for most of the mults at D0 = 256.
+    for (u64 gb : {2, 4, 8, 16}) {
+        StepComplexity c = complexity(PirParams::paperPerf(gb * GiB));
+        EXPECT_GT(c.rowselShare(), 0.40) << gb;
+        EXPECT_LT(c.expandShare(), 0.30) << gb;
+    }
+}
+
+TEST(Complexity, ExpandShareShrinksWithDbSize)
+{
+    // Fig. 4a trend: ExpandQuery's share falls as the DB grows.
+    StepComplexity c2 = complexity(PirParams::paperPerf(2 * GiB));
+    StepComplexity c16 = complexity(PirParams::paperPerf(16 * GiB));
+    EXPECT_LT(c16.expandShare(), c2.expandShare());
+}
+
+TEST(Complexity, TotalCostMinimizedAroundD0of256to512)
+{
+    // Fig. 4b / SIII-A: "preferable D0 values of 256-512 minimize the
+    // total cost" -- growing D0 trades ColTor external products for
+    // ExpandQuery Subs ops, with the optimum in that band.
+    auto total = [](u64 d0) {
+        return complexity(PirParams::paperPerf(2 * GiB, d0)).total();
+    };
+    double best = std::min(total(256), total(512));
+    EXPECT_LT(best, total(128));
+    EXPECT_LE(best, total(1024));
+    EXPECT_LE(best, total(64));
+}
+
+TEST(Complexity, KernelBreakdownShape)
+{
+    // Fig. 7d: RowSel is 100% GEMM; ExpandQuery and ColTor are
+    // NTT-dominated.
+    StepComplexity c = complexity(PirParams::paperPerf(4 * GiB));
+    EXPECT_DOUBLE_EQ(c.rowsel.ntt, 0.0);
+    EXPECT_GT(c.rowsel.gemm, 0.0);
+    EXPECT_GT(c.expand.ntt / c.expand.total(), 0.5);
+    EXPECT_GT(c.coltor.ntt / c.coltor.total(), 0.5);
+}
+
+TEST(Roofline, RowselAiGrowsWithBatch)
+{
+    // Fig. 6 left: batching raises RowSel arithmetic intensity roughly
+    // linearly; client-specific steps stay flat.
+    PirParams p = PirParams::paperPerf(2 * GiB);
+    GpuSpec gpu = GpuSpec::rtx4090();
+    auto e1 = gpuEstimate(p, gpu, 1);
+    auto e16 = gpuEstimate(p, gpu, 16);
+    EXPECT_GT(e16.rowsel.ai() / e1.rowsel.ai(), 8.0);
+    EXPECT_NEAR(e16.expand.ai(), e1.expand.ai(), e1.expand.ai() * 0.05);
+    EXPECT_NEAR(e16.coltor.ai(), e1.coltor.ai(), e1.coltor.ai() * 0.05);
+}
+
+TEST(Roofline, BatchingImprovesAmortizedLatency)
+{
+    // Fig. 6 right: amortized per-query time falls with batch size.
+    PirParams p = PirParams::paperPerf(2 * GiB);
+    GpuSpec gpu = GpuSpec::rtx4090();
+    double prev = 1e300;
+    for (int b : {1, 4, 16, 64}) {
+        auto e = gpuEstimate(p, gpu, b);
+        ASSERT_TRUE(e.feasible);
+        double amortized = e.latencySec / b;
+        EXPECT_LT(amortized, prev);
+        prev = amortized;
+    }
+}
+
+TEST(Roofline, MemoryCapacityGatesFeasibility)
+{
+    // 8 GB preprocessed DB (~28 GB) exceeds the RTX 4090's 24 GB, so
+    // the paper's Fig. 12 has no 4090 column at 8 GB.
+    PirParams p8 = PirParams::paperPerf(8 * GiB);
+    EXPECT_EQ(gpuMaxBatch(p8, GpuSpec::rtx4090()), 0);
+    EXPECT_FALSE(gpuEstimate(p8, GpuSpec::rtx4090(), 1).feasible);
+    EXPECT_GT(gpuMaxBatch(p8, GpuSpec::h100()), 0);
+}
+
+TEST(Roofline, H100OutperformsRtx4090)
+{
+    PirParams p = PirParams::paperPerf(2 * GiB);
+    auto a = gpuEstimate(p, GpuSpec::rtx4090(), 16);
+    auto h = gpuEstimate(p, GpuSpec::h100(), 16);
+    EXPECT_GT(h.qps, a.qps);
+}
+
+TEST(Cost, ReproducesTableTwo)
+{
+    ChipCost c = chipCost(IveConfig::ive32());
+    EXPECT_NEAR(c.coreAreaMm2, 2.91, 0.01);
+    EXPECT_NEAR(c.coreWatts, 5.12, 0.01);
+    EXPECT_NEAR(c.coresAreaMm2, 93.1, 0.2);
+    EXPECT_NEAR(c.coresWatts, 163.8, 0.5);
+    EXPECT_NEAR(c.totalAreaMm2, 155.3, 0.5);
+    EXPECT_NEAR(c.totalWatts, 239.1, 0.7);
+    // Component rows.
+    ASSERT_GE(c.perCore.size(), 5u);
+    EXPECT_NEAR(c.perCore[0].areaMm2, 0.77, 0.01); // sysNTTU
+    EXPECT_NEAR(c.perCore[0].watts, 2.17, 0.01);
+    EXPECT_NEAR(c.perCore[4].areaMm2, 1.38, 0.01); // RF & buffers
+}
+
+TEST(Cost, AblationOrdering)
+{
+    // Fig. 13e: area(Base) > area(+Sp) > area(IVE).
+    ChipCost base = chipCost(IveConfig::baseSeparate());
+    ChipCost sp = chipCost(IveConfig::baseSpecialPrimes());
+    ChipCost ive = chipCost(IveConfig::ive32());
+    EXPECT_GT(base.totalAreaMm2, sp.totalAreaMm2);
+    EXPECT_GT(sp.totalAreaMm2, ive.totalAreaMm2);
+    // Special primes save ~2-5% chip area; sysNTTU ~5-8% more.
+    double sp_saving = 1.0 - sp.totalAreaMm2 / base.totalAreaMm2;
+    EXPECT_GT(sp_saving, 0.01);
+    EXPECT_LT(sp_saving, 0.08);
+    double unified_saving = 1.0 - ive.totalAreaMm2 / sp.totalAreaMm2;
+    EXPECT_GT(unified_saving, 0.03);
+    EXPECT_LT(unified_saving, 0.12);
+}
+
+TEST(Cost, ArkLikeAreaComparable)
+{
+    // Fig. 14a: total areas of IVE and the ARK-like system are close.
+    ChipCost ive = chipCost(IveConfig::ive32());
+    ChipCost ark = chipCost(IveConfig::arkLike());
+    EXPECT_GT(ark.totalAreaMm2 / ive.totalAreaMm2, 0.7);
+    EXPECT_LT(ark.totalAreaMm2 / ive.totalAreaMm2, 1.4);
+}
+
+TEST(Cost, Edap)
+{
+    EXPECT_DOUBLE_EQ(edap(2.0, 3.0, 4.0), 24.0);
+}

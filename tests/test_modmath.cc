@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for modular arithmetic: Barrett, Shoup, Solinas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "modmath/modulus.hh"
+#include "modmath/primes.hh"
+#include "modmath/solinas.hh"
+
+using namespace ive;
+
+TEST(Modulus, ReduceMatchesNaive)
+{
+    Rng rng(1);
+    for (u64 q : kIvePrimes) {
+        Modulus mod(q);
+        for (int i = 0; i < 1000; ++i) {
+            u128 x = (static_cast<u128>(rng.next()) << 64) | rng.next();
+            EXPECT_EQ(mod.reduce(x), static_cast<u64>(x % q));
+        }
+    }
+}
+
+TEST(Modulus, AddSubNegMul)
+{
+    Modulus mod(kIvePrimes[0]);
+    u64 q = mod.value();
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        u64 a = rng.uniform(q), b = rng.uniform(q);
+        EXPECT_EQ(mod.add(a, b), (a + b) % q);
+        EXPECT_EQ(mod.sub(a, b), (a + q - b) % q);
+        EXPECT_EQ(mod.neg(a), (q - a) % q);
+        EXPECT_EQ(mod.mul(a, b),
+                  static_cast<u64>(static_cast<u128>(a) * b % q));
+    }
+}
+
+TEST(Modulus, ShoupMatchesMul)
+{
+    Rng rng(3);
+    for (u64 q : kIvePrimes) {
+        Modulus mod(q);
+        for (int i = 0; i < 300; ++i) {
+            u64 b = rng.uniform(q);
+            u64 bs = mod.shoupPrecompute(b);
+            for (int j = 0; j < 10; ++j) {
+                u64 a = rng.uniform(q);
+                EXPECT_EQ(mod.mulShoup(a, b, bs), mod.mul(a, b));
+            }
+        }
+    }
+}
+
+TEST(Modulus, PowAndInverse)
+{
+    Modulus mod(kIvePrimes[1]);
+    EXPECT_EQ(mod.pow(2, 10), 1024u);
+    EXPECT_EQ(mod.pow(7, 0), 1u);
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        u64 a = rng.uniform(mod.value() - 1) + 1;
+        EXPECT_EQ(mod.mul(a, mod.inverse(a)), 1u);
+    }
+}
+
+TEST(Modulus, CenteredRepresentative)
+{
+    Modulus mod(101);
+    EXPECT_EQ(mod.centered(0), 0);
+    EXPECT_EQ(mod.centered(50), 50);
+    EXPECT_EQ(mod.centered(51), -50);
+    EXPECT_EQ(mod.centered(100), -1);
+}
+
+TEST(Primes, IvePrimesAreSolinasNttFriendly)
+{
+    for (size_t i = 0; i < kIvePrimes.size(); ++i) {
+        u64 q = kIvePrimes[i];
+        EXPECT_TRUE(isPrime(q));
+        // q = 2^27 + 2^k + 1 (paper SIV-G).
+        EXPECT_EQ(q, (u64{1} << 27) +
+                         (u64{1} << kIvePrimeExponents[i]) + 1);
+        int k = 0;
+        EXPECT_TRUE(isSolinas27(q, &k));
+        EXPECT_EQ(k, kIvePrimeExponents[i]);
+        // Negacyclic NTT of degree 2^12 requires 2^13 | q - 1.
+        EXPECT_EQ((q - 1) % 8192, 0u);
+    }
+}
+
+TEST(Primes, MillerRabinAgreesWithTrialDivision)
+{
+    auto naive = [](u64 n) {
+        if (n < 2)
+            return false;
+        for (u64 d = 2; d * d <= n; ++d) {
+            if (n % d == 0)
+                return false;
+        }
+        return true;
+    };
+    for (u64 n = 0; n < 2000; ++n)
+        EXPECT_EQ(isPrime(n), naive(n)) << n;
+}
+
+TEST(Primes, FindNttPrimes)
+{
+    auto primes = findNttPrimes(30, 4096, 3);
+    ASSERT_EQ(primes.size(), 3u);
+    for (u64 q : primes) {
+        EXPECT_TRUE(isPrime(q));
+        EXPECT_EQ((q - 1) % 8192, 0u);
+        EXPECT_LT(q, u64{1} << 31);
+    }
+}
+
+TEST(Primes, RootOfUnityHasExactOrder)
+{
+    for (u64 q : kIvePrimes) {
+        Modulus mod(q);
+        u64 w = rootOfUnity(q, 8192);
+        EXPECT_EQ(mod.pow(w, 4096), q - 1); // w^n = -1
+        EXPECT_EQ(mod.pow(w, 8192), 1u);
+    }
+}
+
+class SolinasTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolinasTest, ReduceMatchesBarrett)
+{
+    int idx = GetParam();
+    u64 q = kIvePrimes[idx];
+    SolinasReducer sol(q, kIvePrimeExponents[idx]);
+    Modulus mod(q);
+    Rng rng(17 + idx);
+    // Full product range (two 28-bit operands).
+    for (int i = 0; i < 5000; ++i) {
+        u64 a = rng.uniform(q), b = rng.uniform(q);
+        EXPECT_EQ(sol.mul(a, b), mod.mul(a, b));
+    }
+    // Edge cases.
+    EXPECT_EQ(sol.reduce(0), 0u);
+    EXPECT_EQ(sol.reduce(q), 0u);
+    EXPECT_EQ(sol.reduce(q - 1), q - 1);
+    EXPECT_EQ(sol.mul(q - 1, q - 1), mod.mul(q - 1, q - 1));
+}
+
+TEST_P(SolinasTest, FoldRoundsBounded)
+{
+    int idx = GetParam();
+    SolinasReducer sol(kIvePrimes[idx], kIvePrimeExponents[idx]);
+    // The hardware reduction tree must terminate quickly for products.
+    EXPECT_LE(sol.foldRounds(56), 8);
+    EXPECT_GE(sol.foldRounds(56), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIvePrimes, SolinasTest,
+                         ::testing::Values(0, 1, 2, 3));

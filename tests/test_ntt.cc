@@ -1,0 +1,130 @@
+/**
+ * @file
+ * NTT tests: roundtrip, negacyclic convolution, linearity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "modmath/primes.hh"
+#include "ntt/ntt.hh"
+
+using namespace ive;
+
+namespace {
+
+/** Schoolbook negacyclic convolution in Z_q[X]/(X^n + 1). */
+std::vector<u64>
+negacyclicMul(const std::vector<u64> &a, const std::vector<u64> &b,
+              const Modulus &mod)
+{
+    u64 n = a.size();
+    std::vector<u64> out(n, 0);
+    for (u64 i = 0; i < n; ++i) {
+        for (u64 j = 0; j < n; ++j) {
+            u64 prod = mod.mul(a[i], b[j]);
+            u64 k = i + j;
+            if (k < n)
+                out[k] = mod.add(out[k], prod);
+            else
+                out[k - n] = mod.sub(out[k - n], prod);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+class NttTest : public ::testing::TestWithParam<std::pair<u64, u64>>
+{
+};
+
+TEST_P(NttTest, RoundTrip)
+{
+    auto [q, n] = GetParam();
+    NttTable ntt(q, n);
+    Rng rng(11);
+    std::vector<u64> a(n);
+    for (auto &v : a)
+        v = rng.uniform(q);
+    std::vector<u64> orig = a;
+    ntt.forward(a);
+    ntt.inverse(a);
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttTest, ConvolutionMatchesSchoolbook)
+{
+    auto [q, n] = GetParam();
+    if (n > 256)
+        GTEST_SKIP() << "schoolbook too slow";
+    NttTable ntt(q, n);
+    Modulus mod(q);
+    Rng rng(12);
+    std::vector<u64> a(n), b(n);
+    for (u64 i = 0; i < n; ++i) {
+        a[i] = rng.uniform(q);
+        b[i] = rng.uniform(q);
+    }
+    auto expect = negacyclicMul(a, b, mod);
+
+    std::vector<u64> fa = a, fb = b;
+    ntt.forward(fa);
+    ntt.forward(fb);
+    for (u64 i = 0; i < n; ++i)
+        fa[i] = mod.mul(fa[i], fb[i]);
+    ntt.inverse(fa);
+    EXPECT_EQ(fa, expect);
+}
+
+TEST_P(NttTest, Linearity)
+{
+    auto [q, n] = GetParam();
+    NttTable ntt(q, n);
+    Modulus mod(q);
+    Rng rng(13);
+    std::vector<u64> a(n), b(n), sum(n);
+    for (u64 i = 0; i < n; ++i) {
+        a[i] = rng.uniform(q);
+        b[i] = rng.uniform(q);
+        sum[i] = mod.add(a[i], b[i]);
+    }
+    ntt.forward(a);
+    ntt.forward(b);
+    ntt.forward(sum);
+    for (u64 i = 0; i < n; ++i)
+        EXPECT_EQ(sum[i], mod.add(a[i], b[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrimesAndSizes, NttTest,
+    ::testing::Values(std::pair{kIvePrimes[0], u64{64}},
+                      std::pair{kIvePrimes[1], u64{128}},
+                      std::pair{kIvePrimes[2], u64{256}},
+                      std::pair{kIvePrimes[3], u64{64}},
+                      std::pair{kIvePrimes[0], u64{1024}},
+                      std::pair{kIvePrimes[3], u64{4096}}));
+
+TEST(Ntt, MonomialTransform)
+{
+    // NTT(X) has the 2n-th roots' odd powers as values; squaring in the
+    // evaluation domain must match X*X = X^2.
+    u64 q = kIvePrimes[0], n = 64;
+    NttTable ntt(q, n);
+    Modulus mod(q);
+    std::vector<u64> x(n, 0), x2(n, 0);
+    x[1] = 1;
+    x2[2] = 1;
+    ntt.forward(x);
+    std::vector<u64> prod(n);
+    for (u64 i = 0; i < n; ++i)
+        prod[i] = mod.mul(x[i], x[i]);
+    ntt.inverse(prod);
+    EXPECT_EQ(prod, x2);
+}
+
+TEST(Ntt, MultCountFormula)
+{
+    NttTable ntt(kIvePrimes[0], 4096);
+    EXPECT_EQ(ntt.multCount(), 4096u / 2 * 12);
+}

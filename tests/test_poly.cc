@@ -1,0 +1,181 @@
+/**
+ * @file
+ * RnsPoly algebra tests: arithmetic, domains, automorphisms, monomials.
+ */
+
+#include <gtest/gtest.h>
+
+#include "modmath/primes.hh"
+#include "poly/poly.hh"
+
+using namespace ive;
+
+namespace {
+
+Ring
+testRing(u64 n = 64)
+{
+    return Ring(n, {kIvePrimes.begin(), kIvePrimes.end()});
+}
+
+RnsPoly
+randomCoeff(const Ring &ring, u64 seed)
+{
+    Rng rng(seed);
+    return RnsPoly::uniform(ring, rng, Domain::Coeff);
+}
+
+} // namespace
+
+TEST(Poly, AddSubNegRoundTrip)
+{
+    Ring ring = testRing();
+    RnsPoly a = randomCoeff(ring, 1);
+    RnsPoly b = randomCoeff(ring, 2);
+    RnsPoly c = a;
+    c.addInPlace(ring, b);
+    c.subInPlace(ring, b);
+    EXPECT_EQ(c, a);
+    RnsPoly d = a;
+    d.negateInPlace(ring);
+    d.negateInPlace(ring);
+    EXPECT_EQ(d, a);
+}
+
+TEST(Poly, NttRoundTrip)
+{
+    Ring ring = testRing(256);
+    RnsPoly a = randomCoeff(ring, 3);
+    RnsPoly orig = a;
+    a.toNtt(ring);
+    EXPECT_TRUE(a.isNtt());
+    a.fromNtt(ring);
+    EXPECT_EQ(a, orig);
+}
+
+TEST(Poly, MulAccumulateMatchesMul)
+{
+    Ring ring = testRing();
+    Rng rng(4);
+    RnsPoly a = RnsPoly::uniform(ring, rng, Domain::Ntt);
+    RnsPoly b = RnsPoly::uniform(ring, rng, Domain::Ntt);
+    RnsPoly prod = a;
+    prod.mulInPlace(ring, b);
+    RnsPoly acc(ring, Domain::Ntt);
+    acc.mulAccumulate(ring, a, b);
+    EXPECT_EQ(acc, prod);
+    // Accumulating twice doubles.
+    acc.mulAccumulate(ring, a, b);
+    RnsPoly twice = prod;
+    twice.addInPlace(ring, prod);
+    EXPECT_EQ(acc, twice);
+}
+
+TEST(Poly, AutomorphismIdentity)
+{
+    Ring ring = testRing();
+    RnsPoly a = randomCoeff(ring, 5);
+    EXPECT_EQ(a.automorphism(ring, 1), a);
+}
+
+TEST(Poly, AutomorphismComposition)
+{
+    // sigma_r . sigma_s = sigma_{r*s mod 2n}.
+    Ring ring = testRing();
+    u64 two_n = 2 * ring.n;
+    RnsPoly a = randomCoeff(ring, 6);
+    for (u64 r : {u64{3}, ring.n + 1, ring.n / 2 + 1}) {
+        for (u64 s : {u64{5}, ring.n / 4 + 1}) {
+            RnsPoly lhs =
+                a.automorphism(ring, r).automorphism(ring, s);
+            RnsPoly rhs = a.automorphism(ring, (r * s) % two_n);
+            EXPECT_EQ(lhs, rhs);
+        }
+    }
+}
+
+TEST(Poly, AutomorphismIsRingHomomorphism)
+{
+    // sigma(a o b) = sigma(a) o sigma(b) under polynomial mult.
+    Ring ring = testRing();
+    u64 r = ring.n + 1;
+    RnsPoly a = randomCoeff(ring, 7);
+    RnsPoly b = randomCoeff(ring, 8);
+
+    auto mul = [&](RnsPoly x, RnsPoly y) {
+        x.toNtt(ring);
+        y.toNtt(ring);
+        x.mulInPlace(ring, y);
+        x.fromNtt(ring);
+        return x;
+    };
+    RnsPoly lhs = mul(a, b).automorphism(ring, r);
+    RnsPoly rhs = mul(a.automorphism(ring, r), b.automorphism(ring, r));
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Poly, MonomialMulShifts)
+{
+    Ring ring = testRing();
+    RnsPoly a(ring, Domain::Coeff);
+    // a = 1 + 2X
+    for (int p = 0; p < ring.k(); ++p) {
+        a.set(p, 0, 1);
+        a.set(p, 1, 2);
+    }
+    RnsPoly shifted = a.monomialMul(ring, 2);
+    for (int p = 0; p < ring.k(); ++p) {
+        EXPECT_EQ(shifted.at(p, 2), 1u);
+        EXPECT_EQ(shifted.at(p, 3), 2u);
+        EXPECT_EQ(shifted.at(p, 0), 0u);
+    }
+    // Negacyclic wrap: X^{n-1} * X = -1.
+    RnsPoly top(ring, Domain::Coeff);
+    for (int p = 0; p < ring.k(); ++p)
+        top.set(p, ring.n - 1, 1);
+    RnsPoly wrapped = top.monomialMul(ring, 1);
+    for (int p = 0; p < ring.k(); ++p) {
+        u64 q = ring.base.modulus(p).value();
+        EXPECT_EQ(wrapped.at(p, 0), q - 1);
+    }
+}
+
+TEST(Poly, MonomialInverseCancels)
+{
+    Ring ring = testRing();
+    RnsPoly a = randomCoeff(ring, 9);
+    RnsPoly b = a.monomialMul(ring, 5).monomialMul(ring, -5);
+    EXPECT_EQ(b, a);
+}
+
+TEST(Poly, MonomialNttMatchesCoeffMonomial)
+{
+    Ring ring = testRing();
+    RnsPoly a = randomCoeff(ring, 10);
+    for (i64 e : {i64{1}, i64{-1}, i64{7}, -static_cast<i64>(ring.n / 2)}) {
+        RnsPoly expect = a.monomialMul(ring, e);
+        RnsPoly mono = RnsPoly::monomialNtt(ring, e);
+        RnsPoly got = a;
+        got.toNtt(ring);
+        got.mulInPlace(ring, mono);
+        got.fromNtt(ring);
+        EXPECT_EQ(got, expect) << "e=" << e;
+    }
+}
+
+TEST(Poly, TernaryAndNoiseAreSmall)
+{
+    Ring ring = testRing(256);
+    Rng rng(11);
+    RnsPoly t = RnsPoly::ternary(ring, rng);
+    RnsPoly e = RnsPoly::noise(ring, rng);
+    std::vector<u64> res(ring.k());
+    for (u64 i = 0; i < ring.n; ++i) {
+        t.coeffResidues(i, res);
+        i128 tv = ring.base.centered(ring.base.fromRns(res));
+        EXPECT_LE(tv >= 0 ? tv : -tv, 1);
+        e.coeffResidues(i, res);
+        i128 ev = ring.base.centered(ring.base.fromRns(res));
+        EXPECT_LE(ev >= 0 ? ev : -ev, 20);
+    }
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for CRT/iCRT (paper Eq. 2/3) and gadget decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "modmath/primes.hh"
+#include "rns/gadget.hh"
+#include "rns/rns_base.hh"
+
+using namespace ive;
+
+namespace {
+
+RnsBase
+iveBase()
+{
+    return RnsBase({kIvePrimes.begin(), kIvePrimes.end()});
+}
+
+u128
+randomBelow(Rng &rng, u128 bound)
+{
+    u128 x = (static_cast<u128>(rng.next()) << 64) | rng.next();
+    return x % bound;
+}
+
+} // namespace
+
+TEST(RnsBase, RoundTrip)
+{
+    RnsBase base = iveBase();
+    Rng rng(5);
+    std::vector<u64> res(base.size());
+    for (int i = 0; i < 2000; ++i) {
+        u128 x = randomBelow(rng, base.bigQ());
+        base.toRns(x, res);
+        EXPECT_EQ(base.fromRns(res), x);
+    }
+}
+
+TEST(RnsBase, RoundTripEdges)
+{
+    RnsBase base = iveBase();
+    std::vector<u64> res(base.size());
+    for (u128 x : {u128{0}, u128{1}, base.bigQ() - 1, base.bigQ() / 2}) {
+        base.toRns(x, res);
+        EXPECT_EQ(base.fromRns(res), x);
+    }
+}
+
+TEST(RnsBase, SignedEmbedding)
+{
+    RnsBase base = iveBase();
+    std::vector<u64> res(base.size());
+    base.toRnsSigned(-5, res);
+    u128 x = base.fromRns(res);
+    EXPECT_EQ(x, base.bigQ() - 5);
+    EXPECT_EQ(base.centered(x), -5);
+    base.toRnsSigned(42, res);
+    EXPECT_EQ(base.fromRns(res), u128{42});
+}
+
+TEST(RnsBase, DeltaResidues)
+{
+    RnsBase base = iveBase();
+    u64 p = u64{1} << 32;
+    u128 delta = base.delta(p);
+    EXPECT_EQ(delta, base.bigQ() / p);
+    auto res = base.deltaResidues(p);
+    EXPECT_EQ(base.fromRns(res), delta);
+}
+
+TEST(RnsBase, InverseResidues)
+{
+    RnsBase base = iveBase();
+    for (u64 x : {u64{2}, u64{512}, u64{1} << 20}) {
+        auto inv = base.inverseResidues(x);
+        for (int i = 0; i < base.size(); ++i) {
+            const Modulus &m = base.modulus(i);
+            EXPECT_EQ(m.mul(inv[i], x % m.value()), 1u);
+        }
+    }
+}
+
+TEST(RnsBase, LogQ)
+{
+    RnsBase base = iveBase();
+    // Q for the four IVE primes is just above 2^108.
+    EXPECT_NEAR(base.logQ(), 108.07, 0.01);
+}
+
+class GadgetTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(GadgetTest, DecomposeReconstructs)
+{
+    auto [log_z, ell] = GetParam();
+    RnsBase base = iveBase();
+    Gadget g(&base, log_z, ell);
+    Rng rng(7);
+    std::vector<u64> digits(ell);
+    for (int i = 0; i < 500; ++i) {
+        u128 x = randomBelow(rng, base.bigQ());
+        g.decompose(x, digits);
+        u128 acc = 0;
+        for (int k = ell - 1; k >= 0; --k) {
+            EXPECT_LT(digits[k], g.z());
+            acc = (acc << log_z) + digits[k];
+        }
+        EXPECT_EQ(acc, x);
+    }
+}
+
+TEST_P(GadgetTest, ZPowResiduesMatchDigitWeights)
+{
+    auto [log_z, ell] = GetParam();
+    RnsBase base = iveBase();
+    Gadget g(&base, log_z, ell);
+    for (int k = 0; k < ell; ++k) {
+        auto zk = g.zPowResidues(k);
+        for (int i = 0; i < base.size(); ++i) {
+            const Modulus &m = base.modulus(i);
+            u64 expect = m.pow((u64{1} << log_z) % m.value(),
+                               static_cast<u64>(k));
+            EXPECT_EQ(zk[i], expect);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperBases, GadgetTest,
+    ::testing::Values(std::pair{13, 9}, std::pair{14, 8},
+                      std::pair{22, 5}, std::pair{11, 10}));
+
+TEST(Gadget, RejectsUndersizedGadget)
+{
+    RnsBase base = iveBase();
+    // 12 * 9 = 108 < log2(Q) = 108.07: must be rejected.
+    EXPECT_DEATH(Gadget(&base, 12, 9), "assertion");
+}

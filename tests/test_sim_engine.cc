@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the op-graph executor and the scratchpad model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core.hh"
+#include "sim/memory.hh"
+#include "sim/noc.hh"
+#include "sim/op_graph.hh"
+
+using namespace ive;
+
+namespace {
+
+std::array<UnitDesc, kNumFuKinds>
+simpleUnits()
+{
+    std::array<UnitDesc, kNumFuKinds> units{};
+    for (auto &u : units) {
+        u.throughput = 1.0;
+        u.latency = 0.0;
+        u.copies = 1;
+    }
+    return units;
+}
+
+} // namespace
+
+TEST(OpGraph, SerialChainSums)
+{
+    OpGraph g;
+    u32 a = g.add(FuKind::SysNttu, 100.0);
+    u32 b = g.add(FuKind::SysNttu, 50.0, a);
+    g.add(FuKind::SysNttu, 25.0, b);
+    ExecStats s = simulate(g, simpleUnits());
+    EXPECT_DOUBLE_EQ(s.cycles, 175.0);
+    EXPECT_DOUBLE_EQ(s.busyCycles[static_cast<int>(FuKind::SysNttu)],
+                     175.0);
+}
+
+TEST(OpGraph, IndependentUnitsOverlap)
+{
+    OpGraph g;
+    g.add(FuKind::SysNttu, 100.0);
+    g.add(FuKind::Ewu, 80.0);
+    g.add(FuKind::HbmPort, 60.0);
+    ExecStats s = simulate(g, simpleUnits());
+    EXPECT_DOUBLE_EQ(s.cycles, 100.0);
+}
+
+TEST(OpGraph, CopiesLoadBalance)
+{
+    auto units = simpleUnits();
+    units[static_cast<int>(FuKind::SysNttu)].copies = 2;
+    OpGraph g;
+    g.add(FuKind::SysNttu, 100.0);
+    g.add(FuKind::SysNttu, 100.0);
+    ExecStats s = simulate(g, units);
+    EXPECT_DOUBLE_EQ(s.cycles, 100.0);
+    EXPECT_DOUBLE_EQ(s.busyCycles[static_cast<int>(FuKind::SysNttu)],
+                     200.0);
+}
+
+TEST(OpGraph, DependencyBlocksAcrossUnits)
+{
+    OpGraph g;
+    u32 load = g.add(FuKind::HbmPort, 40.0);
+    g.add(FuKind::SysNttu, 10.0, load);
+    ExecStats s = simulate(g, simpleUnits());
+    EXPECT_DOUBLE_EQ(s.cycles, 50.0);
+}
+
+TEST(OpGraph, ReadyOpBypassesStalledQueueHead)
+{
+    // Head-of-line test: op C (ready at t=0) must not wait behind op B
+    // (ready only after a long dependency) on the same unit.
+    auto units = simpleUnits();
+    OpGraph g;
+    u32 slow = g.add(FuKind::HbmPort, 100.0);       // finishes at 100
+    g.add(FuKind::Ewu, 10.0, slow);                 // B: ready at 100
+    g.add(FuKind::Ewu, 10.0);                       // C: ready at 0
+    ExecStats s = simulate(g, simpleUnits());
+    (void)units;
+    // C runs [0,10); B runs [100,110). Makespan 110, not 120.
+    EXPECT_DOUBLE_EQ(s.cycles, 110.0);
+}
+
+TEST(OpGraph, PipelineLatencyDelaysSuccessorsNotUnit)
+{
+    auto units = simpleUnits();
+    units[static_cast<int>(FuKind::SysNttu)].latency = 30.0;
+    OpGraph g;
+    u32 a = g.add(FuKind::SysNttu, 10.0);
+    u32 b = g.add(FuKind::SysNttu, 10.0); // same unit, back-to-back
+    g.add(FuKind::Ewu, 5.0, a, b);
+    ExecStats s = simulate(g, units);
+    // Unit occupancy is 10 each (b starts at 10), finishes 20+30=50;
+    // EWU starts at 50, ends 55.
+    EXPECT_DOUBLE_EQ(s.cycles, 55.0);
+}
+
+TEST(OpGraph, TrafficByClass)
+{
+    OpGraph g;
+    g.add(FuKind::HbmPort, 1000.0, SimOp::kNoDep, SimOp::kNoDep,
+          TrafficClass::DbLoad);
+    g.add(FuKind::HbmPort, 500.0, SimOp::kNoDep, SimOp::kNoDep,
+          TrafficClass::EvkLoad);
+    ExecStats s = simulate(g, simpleUnits());
+    EXPECT_DOUBLE_EQ(
+        s.trafficBytes[static_cast<int>(TrafficClass::DbLoad)], 1000.0);
+    EXPECT_DOUBLE_EQ(
+        s.trafficBytes[static_cast<int>(TrafficClass::EvkLoad)], 500.0);
+}
+
+TEST(Scratchpad, HitsAvoidReloads)
+{
+    Scratchpad pad(1000);
+    std::vector<ObjUse> use1{{1, 400, false, false}};
+    auto a1 = pad.use(use1);
+    ASSERT_EQ(a1.size(), 1u);
+    EXPECT_TRUE(a1[0].isLoad);
+    auto a2 = pad.use(use1);
+    EXPECT_TRUE(a2.empty()); // hit
+}
+
+TEST(Scratchpad, LruEvictionWritesBackDirty)
+{
+    Scratchpad pad(1000);
+    pad.use({{1, 400, true, true}});  // new dirty object
+    pad.use({{2, 400, false, false}});
+    // Touch 1 again so 2 becomes LRU.
+    pad.use({{1, 400, false, true}});
+    auto acts = pad.use({{3, 400, true, true}});
+    // 2 was clean: evicted silently. No store expected.
+    for (const auto &a : acts)
+        EXPECT_TRUE(a.isLoad == false ? a.id != 2 : true);
+    // Next eviction victim is 1 (dirty): expect a write-back.
+    auto acts2 = pad.use({{4, 400, true, true}});
+    bool stored1 = false;
+    for (const auto &a : acts2)
+        if (!a.isLoad && a.id == 1)
+            stored1 = true;
+    EXPECT_TRUE(stored1);
+}
+
+TEST(Scratchpad, DropFreesWithoutStore)
+{
+    Scratchpad pad(1000);
+    pad.use({{1, 900, true, true}});
+    pad.drop(1);
+    EXPECT_EQ(pad.residentBytes(), 0u);
+    auto acts = pad.flush();
+    EXPECT_TRUE(acts.empty());
+}
+
+TEST(Scratchpad, FlushStoresAllDirty)
+{
+    Scratchpad pad(2000);
+    pad.use({{1, 400, true, true}});
+    pad.use({{2, 400, false, false}});
+    pad.use({{3, 400, true, true}});
+    auto acts = pad.flush();
+    EXPECT_EQ(acts.size(), 2u);
+    EXPECT_EQ(pad.residentBytes(), 0u);
+}
+
+TEST(Scratchpad, PinnedSetTooLargeAborts)
+{
+    Scratchpad pad(100);
+    EXPECT_DEATH(pad.use({{1, 200, true, true}}), "assertion");
+}
+
+TEST(UnitTable, MatchesConfig)
+{
+    IveConfig cfg;
+    auto units = makeUnitTable(cfg);
+    EXPECT_EQ(units[static_cast<int>(FuKind::SysNttu)].copies, 2);
+    EXPECT_DOUBLE_EQ(units[static_cast<int>(FuKind::Gemm)].throughput,
+                     512.0);
+    // HBM: 2 TiB/s over 32 cores at 1 GHz ~= 68.7 B/cycle/core.
+    EXPECT_NEAR(units[static_cast<int>(FuKind::HbmPort)].throughput,
+                68.7, 0.1);
+}
+
+TEST(ObjectSizesTest, MatchPaperFootprints)
+{
+    PirParams p = PirParams::paperPerf(u64{2} << 30); // l = 5
+    IveConfig cfg;
+    ObjectSizes s = objectSizes(p, cfg);
+    EXPECT_EQ(s.ctBytes, 112u * 1024);         // paper SII-B
+    EXPECT_EQ(s.evkBytes, 560u * 1024);        // paper SII-D (l = 5)
+    EXPECT_EQ(s.rgswBytes, 1120u * 1024);      // paper SII-C
+    // Preprocessed DB is logQ/logP (3.5x) larger than raw (SII-B).
+    EXPECT_NEAR(static_cast<double>(s.dbBytes) / p.dbBytes(), 3.5, 0.1);
+}
+
+TEST(Noc, TransposeScalesWithBytes)
+{
+    IveConfig cfg;
+    auto c1 = transposeCost(cfg, 1000000);
+    auto c2 = transposeCost(cfg, 2000000);
+    EXPECT_NEAR(c2.cycles / c1.cycles, 2.0, 0.01);
+    EXPECT_EQ(c1.bytesPerCore, divCeil(1000000, cfg.cores));
+}

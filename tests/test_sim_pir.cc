@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Integration tests of the batched-PIR accelerator simulation:
+ * bounds, batching behaviour, tiering, segmentation, scheduling
+ * traffic, ARK-like comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "sim/accelerator.hh"
+
+using namespace ive;
+
+TEST(SimPir, RowselRespectsComputeAndBandwidthBounds)
+{
+    IveConfig cfg;
+    PirParams p = PirParams::paperPerf(2 * GiB);
+    SimOptions opts;
+    opts.batch = 64;
+    PirSimResult r = simulatePir(p, cfg, opts);
+
+    double kn = 4.0 * p.he.n;
+    double macs = 2.0 * p.numEntries() * opts.batch * kn;
+    double compute_bound = macs / cfg.peakGemmMacsPerSec();
+    double stream_bound =
+        p.numEntries() * kn * cfg.wordBytes / cfg.hbmBytesPerSec;
+    EXPECT_GE(r.rowselSec, compute_bound * 0.999);
+    EXPECT_GE(r.rowselSec, stream_bound * 0.999);
+    // And it should be close to the max of the two (good overlap).
+    EXPECT_LT(r.rowselSec, std::max(compute_bound, stream_bound) * 1.5);
+}
+
+TEST(SimPir, BatchingAmortizesRowselOnly)
+{
+    IveConfig cfg;
+    PirParams p = PirParams::paperPerf(2 * GiB);
+    SimOptions o1, o32;
+    o1.batch = 1;
+    o32.batch = 32;
+    PirSimResult r1 = simulatePir(p, cfg, o1);
+    PirSimResult r32 = simulatePir(p, cfg, o32);
+    // Throughput improves with batching...
+    EXPECT_GT(r32.qps, r1.qps * 4);
+    // ...but per-query client-step time does not shrink: expand time
+    // for 32 queries on 32 cores matches one query on one core.
+    EXPECT_NEAR(r32.expandSec, r1.expandSec, r1.expandSec * 0.05);
+}
+
+TEST(SimPir, ThroughputSaturatesWithBatch)
+{
+    IveConfig cfg;
+    PirParams p = PirParams::paperPerf(16 * GiB);
+    double prev_qps = 0.0;
+    for (int b : {16, 32, 64}) {
+        SimOptions o;
+        o.batch = b;
+        PirSimResult r = simulatePir(p, cfg, o);
+        EXPECT_GT(r.qps, prev_qps * 0.98);
+        prev_qps = r.qps;
+    }
+    // Gains flatten: 64 -> 128 improves less than 1.5x (Fig. 13c).
+    SimOptions o128;
+    o128.batch = 128;
+    EXPECT_LT(simulatePir(p, cfg, o128).qps, prev_qps * 1.5);
+}
+
+TEST(SimPir, MinLatencyIsDbScan)
+{
+    IveConfig cfg;
+    PirParams p = PirParams::paperPerf(16 * GiB);
+    SimOptions o;
+    o.batch = 64;
+    PirSimResult r = simulatePir(p, cfg, o);
+    ObjectSizes s = objectSizes(p, cfg);
+    EXPECT_NEAR(r.minLatencySec,
+                static_cast<double>(s.dbBytes) / cfg.hbmBytesPerSec,
+                1e-9);
+    EXPECT_GT(r.latencySec, r.minLatencySec);
+}
+
+TEST(SimPir, AutoPlacementUsesLpddrForLargeDb)
+{
+    IveConfig cfg;
+    SimOptions o;
+    o.batch = 64;
+    PirSimResult small = simulatePir(PirParams::paperPerf(8 * GiB), cfg, o);
+    EXPECT_FALSE(small.dbOnLpddr);
+    PirSimResult big =
+        simulatePir(PirParams::paperPerf(128 * GiB), cfg, o);
+    EXPECT_TRUE(big.dbOnLpddr);
+    // LPDDR scan floor: 128 GiB * ~3.5 / 512 GB/s ~ 0.88 s.
+    EXPECT_GT(big.minLatencySec, 0.8);
+}
+
+TEST(SimPir, SegmentationKicksInForHugeOutputSets)
+{
+    IveConfig cfg;
+    SimOptions o;
+    o.batch = 128;
+    PirSimResult big =
+        simulatePir(PirParams::paperPerf(128 * GiB), cfg, o);
+    EXPECT_GT(big.colSegments, 1);
+    PirSimResult small =
+        simulatePir(PirParams::paperPerf(8 * GiB), cfg, o);
+    EXPECT_EQ(small.colSegments, 1);
+}
+
+TEST(SimPir, SchedulingStudyOrdering)
+{
+    // Fig. 8 qualitative claims: (1) HS beats BFS on total traffic,
+    // (2) DFS suffers selector re-loads, (3) R.O. only helps, (4) a
+    // larger cache never hurts BFS.
+    IveConfig cfg;
+    PirParams p = PirParams::paperPerf(8 * GiB);
+    auto rows = schedulingStudy(p, cfg, 32, 64 * MiB, 128 * MiB);
+    ASSERT_EQ(rows.size(), 6u);
+    const auto &bfs64 = rows[0], &bfs128 = rows[1], &dfs = rows[2],
+               &hs_dfs = rows[4], &hs_ro = rows[5];
+
+    EXPECT_LT(hs_dfs.coltor.totalBytes(), bfs128.coltor.totalBytes());
+    EXPECT_LT(hs_dfs.expand.totalBytes(), bfs128.expand.totalBytes());
+    EXPECT_GT(dfs.coltor.keyLoadBytes, hs_dfs.coltor.keyLoadBytes * 5);
+    EXPECT_LE(hs_ro.coltor.totalBytes(),
+              hs_dfs.coltor.totalBytes() * 1.001);
+    EXPECT_LE(bfs128.coltor.totalBytes(),
+              bfs64.coltor.totalBytes() * 1.001);
+
+    // Overall reduction vs BFS in the paper's ballpark (>1.5x).
+    double reduction = bfs128.coltor.totalBytes() /
+                       hs_ro.coltor.totalBytes();
+    EXPECT_GT(reduction, 1.5);
+}
+
+TEST(SimPir, ArkLikeIsSlowerAndLessEfficient)
+{
+    SimOptions o;
+    o.batch = 64;
+    PirParams p = PirParams::paperPerf(16 * GiB);
+    PirSimResult ive = simulatePir(p, IveConfig::ive32(), o);
+    PirSimResult ark = simulatePir(p, IveConfig::arkLike(), o);
+    EXPECT_GT(ive.qps, ark.qps * 1.5);
+    EXPECT_GT(ark.energyPerQueryJ, ive.energyPerQueryJ * 1.5);
+}
+
+TEST(SimPir, SysNttuAblationKeepsPerformance)
+{
+    // Fig. 13e: the unified sysNTTU must not cost performance vs
+    // separate units with matching throughput.
+    SimOptions o;
+    o.batch = 64;
+    PirParams p = PirParams::paperPerf(8 * GiB);
+    PirSimResult ive = simulatePir(p, IveConfig::ive32(), o);
+    PirSimResult base = simulatePir(p, IveConfig::baseSeparate(), o);
+    EXPECT_NEAR(ive.latencySec, base.latencySec,
+                base.latencySec * 0.02);
+    // But the unified unit draws more energy (extra circuits).
+    EXPECT_GT(ive.energyJ, base.energyJ * 0.99);
+}
+
+TEST(SimPir, SimplePirOnIveIsDbScanBound)
+{
+    IveSimulator sim;
+    auto r2 = sim.simulateSimplePir(2 * GiB, 64);
+    auto r4 = sim.simulateSimplePir(4 * GiB, 64);
+    // Half the QPS for double the database (scan-bound).
+    EXPECT_NEAR(r2.qps / r4.qps, 2.0, 0.3);
+    EXPECT_GT(r2.qps, 1000.0);
+}
+
+TEST(SimPir, KsPirOnIveSlowerThanOnion)
+{
+    IveSimulator sim;
+    auto onion = sim.runDbSize(2 * GiB, 64);
+    KsPirParams kp = KsPirParams::forDbSize(2 * GiB);
+    kp.base.he.logZKs = 22;
+    kp.base.he.ellKs = 5;
+    kp.base.he.logZRgsw = 22;
+    kp.base.he.ellRgsw = 5;
+    auto ks = sim.simulateKsPir(kp, 64);
+    EXPECT_LT(ks.qps, onion.qps);
+    EXPECT_GT(ks.qps, onion.qps * 0.2);
+}
+
+TEST(SimPir, EnergyPerQueryInPaperBallpark)
+{
+    IveSimulator sim;
+    auto r = sim.runDbSize(2 * GiB, 64);
+    // Paper: 0.03 J/query at 2 GB. Accept the right order of magnitude.
+    EXPECT_GT(r.energyPerQueryJ, 0.005);
+    EXPECT_LT(r.energyPerQueryJ, 0.2);
+}
+
+TEST(SimPir, PlanesMultiplyStreamingPhases)
+{
+    IveConfig cfg;
+    PirParams p1 = PirParams::paperPerf(2 * GiB);
+    PirParams p4 = p1;
+    p4.planes = 4;
+    SimOptions o;
+    o.batch = 64;
+    PirSimResult r1 = simulatePir(p1, cfg, o);
+    PirSimResult r4 = simulatePir(p4, cfg, o);
+    EXPECT_NEAR(r4.rowselSec / r1.rowselSec, 4.0, 0.1);
+    EXPECT_NEAR(r4.expandSec, r1.expandSec, r1.expandSec * 0.01);
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deployment-system tests: memory tiering, scale-out cluster, and the
+ * waiting-window batch scheduler (paper SV, SVI-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "system/batch_scheduler.hh"
+#include "system/cluster.hh"
+#include "system/tiering.hh"
+
+using namespace ive;
+
+TEST(Tiering, SmallDbStaysInHbm)
+{
+    IveConfig cfg;
+    auto d = placeDatabase(PirParams::paperPerf(8 * GiB), cfg, 64);
+    EXPECT_FALSE(d.dbOnLpddr);
+    EXPECT_TRUE(d.fits);
+    EXPECT_NEAR(static_cast<double>(d.dbBytesPreprocessed) /
+                    d.dbBytesRaw,
+                3.5, 0.2);
+}
+
+TEST(Tiering, LargeDbOffloadsToLpddr)
+{
+    IveConfig cfg;
+    auto d = placeDatabase(PirParams::paperPerf(128 * GiB), cfg, 128);
+    EXPECT_TRUE(d.dbOnLpddr);
+    EXPECT_TRUE(d.fits);
+    // Paper SV: one IVE system supports up to ~128 GB of raw DB.
+    EXPECT_GE(d.maxRawDbBytes, 120 * GiB);
+    EXPECT_LE(d.maxRawDbBytes, 190 * GiB);
+}
+
+TEST(Tiering, NoLpddrLimitsCapacity)
+{
+    IveConfig cfg;
+    cfg.hasLpddr = false;
+    auto d = placeDatabase(PirParams::paperPerf(64 * GiB), cfg, 64);
+    EXPECT_FALSE(d.dbOnLpddr);
+    EXPECT_FALSE(d.fits); // 64 GiB * 3.5 > 96 GiB HBM
+}
+
+TEST(Cluster, NearLinearScaling)
+{
+    // Paper SV/Fig. 13d: at saturation the product of per-system QPS
+    // and DB size stays nearly constant. With a fixed 64 GiB slice per
+    // system, the cluster's aggregate QPS is flat in system count
+    // (latency is set by the slice), so supported DB size scales
+    // linearly at constant throughput.
+    IveConfig cfg;
+    auto r4 = simulateCluster(256 * GiB, 4, cfg, 128);
+    auto r8 = simulateCluster(512 * GiB, 8, cfg, 128);
+    EXPECT_NEAR(r8.qps / r4.qps, 1.0, 0.15);
+    double prod4 = r4.qpsPerSystem * 256.0;
+    double prod8 = r8.qpsPerSystem * 512.0;
+    EXPECT_NEAR(prod8 / prod4, 1.0, 0.15);
+    // Gather/final-fold overheads stay small (paper: "negligible").
+    EXPECT_LT(r8.gatherSec + r8.finalFoldSec,
+              0.1 * r8.perSystem.latencySec);
+}
+
+TEST(Cluster, SingleSystemMatchesDirectSim)
+{
+    IveConfig cfg;
+    auto c = simulateCluster(16 * GiB, 1, cfg, 64);
+    SimOptions o;
+    o.batch = 64;
+    auto direct = simulatePir(PirParams::paperPerf(16 * GiB), cfg, o);
+    EXPECT_NEAR(c.qps, direct.qps, direct.qps * 0.01);
+    EXPECT_EQ(c.gatherSec, 0.0);
+}
+
+TEST(Cluster, SixteenSystemsHandleTerabyte)
+{
+    IveConfig cfg;
+    auto r = simulateCluster(TiB, 16, cfg, 128);
+    EXPECT_GT(r.qps, 16.0);
+    EXPECT_GT(r.qpsPerSystem, 1.0);
+    EXPECT_LT(r.latencySec, 30.0);
+}
+
+namespace {
+
+/** Toy service model: fixed cost plus linear per-query cost. */
+double
+toyService(int batch)
+{
+    return 0.030 + 0.002 * batch;
+}
+
+} // namespace
+
+TEST(Scheduler, LowLoadLatencyNearSingleQuery)
+{
+    SchedulerConfig cfg{0.032, 64};
+    auto pt = simulateLoad(toyService, cfg, 1.0, 4000, 7);
+    EXPECT_FALSE(pt.saturated);
+    // At 1 QPS almost every batch is a single query; latency is close
+    // to service(1) (the window only waits when a batch is forming).
+    EXPECT_LT(pt.avgLatencySec, 2.5 * toyService(1));
+    EXPECT_LT(pt.avgBatch, 1.5);
+}
+
+TEST(Scheduler, HighLoadBoundedLatencyOverhead)
+{
+    // Paper SVI-F: batching bounds the latency overhead to ~2x while
+    // sustaining load far beyond the single-query throughput limit
+    // (1/0.032 = 31 QPS for the toy model).
+    SchedulerConfig cfg{0.032, 64};
+    auto pt = simulateLoad(toyService, cfg, 300.0, 6000, 8);
+    EXPECT_FALSE(pt.saturated);
+    EXPECT_GT(pt.avgBatch, 8.0);
+    EXPECT_LT(pt.avgLatencySec, 8.0 * toyService(1));
+}
+
+TEST(Scheduler, NoBatchingSaturatesEarly)
+{
+    SchedulerConfig no_batch{0.0, 1};
+    // Single-query service rate is 1/0.032 ~ 31 QPS; offering 100 QPS
+    // must saturate.
+    auto pt = simulateLoad(toyService, no_batch, 100.0, 4000, 9);
+    EXPECT_TRUE(pt.saturated);
+    // While batching at the same load stays stable.
+    SchedulerConfig batch{0.032, 64};
+    auto pb = simulateLoad(toyService, batch, 100.0, 4000, 9);
+    EXPECT_FALSE(pb.saturated);
+}
+
+TEST(Scheduler, ThroughputTracksOfferedLoadBelowSaturation)
+{
+    SchedulerConfig cfg{0.032, 64};
+    auto pts = loadCurve(toyService, cfg, {5.0, 50.0, 200.0}, 4000, 10);
+    for (const auto &pt : pts) {
+        EXPECT_FALSE(pt.saturated);
+        EXPECT_NEAR(pt.completedQps, pt.offeredQps,
+                    pt.offeredQps * 0.15);
+    }
+}
