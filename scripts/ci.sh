@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + tests, then an ASan/UBSan configuration.
+#
+# Usage: scripts/ci.sh [--skip-sanitize] [--tsan]
+#   --skip-sanitize  only run the tier-1 (plain Release) configuration
+#   --tsan           additionally run the thread-heavy suites under TSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+SKIP_SANITIZE=0
+RUN_TSAN=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-sanitize) SKIP_SANITIZE=1 ;;
+        --tsan) RUN_TSAN=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "=== tier-1: Release build + ctest ==="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [ "$SKIP_SANITIZE" -eq 0 ]; then
+    echo "=== ASan/UBSan build + ctest ==="
+    cmake -B build-asan -S . -DIVE_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
+    cmake --build build-asan -j "$JOBS"
+    # Death tests fork; ASan's allocator makes that slow but correct.
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [ "$RUN_TSAN" -eq 1 ]; then
+    echo "=== TSan build + thread-heavy suites ==="
+    cmake -B build-tsan -S . -DIVE_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
+    cmake --build build-tsan -j "$JOBS" --target \
+          test_thread_pool test_parallel_server test_system
+    ctest --test-dir build-tsan --output-on-failure \
+          -R 'test_thread_pool|test_parallel_server|test_system'
+fi
+
+echo "=== CI passed ==="

@@ -1,0 +1,206 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace ive {
+
+namespace {
+
+thread_local bool tls_pool_worker = false;
+
+} // namespace
+
+/**
+ * Shared state of one parallelFor. Indices are claimed lock-free from
+ * `next`; everything about completion (activeWorkers, firstError) is
+ * guarded by the pool's mutex.
+ */
+struct ThreadPool::Batch
+{
+    u64 end = 0;
+    const std::function<void(u64)> *fn = nullptr;
+    std::atomic<u64> next{0};
+    int activeWorkers = 0; ///< Guarded by ThreadPool::mu_.
+    std::exception_ptr firstError; ///< Guarded by ThreadPool::mu_.
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : numThreads_(num_threads < 1 ? 1 : num_threads)
+{
+    workers_.reserve(numThreads_ - 1);
+    for (int i = 0; i < numThreads_ - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tls_pool_worker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tls_pool_worker = true;
+    u64 seen_generation = 0;
+    for (;;) {
+        Batch *batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return stop_ ||
+                       (current_ != nullptr &&
+                        generation_ != seen_generation);
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            batch = current_;
+            ++batch->activeWorkers;
+        }
+
+        std::exception_ptr error;
+        for (;;) {
+            u64 i = batch->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch->end)
+                break;
+            try {
+                (*batch->fn)(i);
+            } catch (...) {
+                error = std::current_exception();
+                break;
+            }
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (error && !batch->firstError)
+                batch->firstError = error;
+            --batch->activeWorkers;
+        }
+        wake_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(u64 begin, u64 end,
+                        const std::function<void(u64)> &fn)
+{
+    if (begin >= end)
+        return;
+    // Nested calls (a worker parallelizing inside a parallel region)
+    // and trivial cases run inline: the coarse level already owns the
+    // pool, and inline nesting cannot deadlock.
+    if (numThreads_ <= 1 || end - begin == 1 || onWorkerThread()) {
+        for (u64 i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    Batch batch;
+    batch.end = end;
+    batch.fn = &fn;
+    batch.next.store(begin, std::memory_order_relaxed);
+
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (current_ != nullptr) {
+            // Another top-level batch owns the workers; degrade to an
+            // inline loop rather than queueing (keeps latency bounded
+            // and the pool logic single-batch).
+            lock.unlock();
+            for (u64 i = begin; i < end; ++i)
+                fn(i);
+            return;
+        }
+        current_ = &batch;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The calling thread is one of the lanes.
+    std::exception_ptr error;
+    for (;;) {
+        u64 i = batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end)
+            break;
+        try {
+            fn(i);
+        } catch (...) {
+            error = std::current_exception();
+            break;
+        }
+    }
+
+    std::exception_ptr first;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        current_ = nullptr; // No new workers may join this batch.
+        wake_.wait(lock, [&] { return batch.activeWorkers == 0; });
+        if (error && !batch.firstError)
+            batch.firstError = error;
+        first = batch.firstError;
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+int
+defaultThreads()
+{
+    if (const char *env = std::getenv("IVE_THREADS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        warn("ignoring invalid IVE_THREADS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(defaultThreads());
+    return *g_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int num_threads)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    g_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+void
+parallelFor(u64 begin, u64 end, const std::function<void(u64)> &fn)
+{
+    ThreadPool::global().parallelFor(begin, end, fn);
+}
+
+} // namespace ive

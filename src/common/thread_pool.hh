@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fixed-size worker pool with a deterministic parallel-for.
+ *
+ * The server pipeline parallelizes over independent units (queries in a
+ * batch, plaintext planes, RowSel output columns, RGSW gadget rows):
+ * each parallelFor index writes only to its own output slot, so results
+ * are byte-identical at any thread count. Nested parallelFor calls run
+ * inline on the calling worker, which keeps coarse parallelism (over
+ * queries) from deadlocking against fine parallelism (inside one
+ * query) while letting the fine level kick in when a single query runs
+ * alone.
+ */
+
+#ifndef IVE_COMMON_THREAD_POOL_HH
+#define IVE_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ive {
+
+class ThreadPool
+{
+  public:
+    /** Spawns num_threads - 1 workers (the caller is the extra lane). */
+    explicit ThreadPool(int num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Configured parallelism (>= 1), counting the calling thread. */
+    int size() const { return numThreads_; }
+
+    /**
+     * Runs fn(i) for every i in [begin, end) and blocks until all
+     * complete. Indices are claimed dynamically; fn must only write
+     * state owned by index i. Runs inline when the pool is size 1, the
+     * range is trivial, or the caller is already a pool worker (nested
+     * parallelism).
+     */
+    void parallelFor(u64 begin, u64 end,
+                     const std::function<void(u64)> &fn);
+
+    /** True when the calling thread is one of this pool's workers. */
+    static bool onWorkerThread();
+
+    /**
+     * Process-wide pool, created on first use with threads from
+     * IVE_THREADS (default: hardware concurrency).
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replaces the global pool (joining its workers). Not safe while
+     * another thread is inside a parallelFor on the old pool; callers
+     * must quiesce their own parallel work first.
+     */
+    static void setGlobalThreads(int num_threads);
+
+  private:
+    struct Batch; ///< One parallelFor invocation's shared state.
+
+    void workerLoop();
+
+    int numThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;   ///< Workers wait for a batch.
+    Batch *current_ = nullptr;       ///< Batch being executed, if any.
+    u64 generation_ = 0;             ///< Bumped per batch to re-wake.
+    bool stop_ = false;
+};
+
+/** parallelFor on the global pool. */
+void parallelFor(u64 begin, u64 end, const std::function<void(u64)> &fn);
+
+} // namespace ive
+
+#endif // IVE_COMMON_THREAD_POOL_HH

@@ -1,5 +1,7 @@
 #include "ntt/ntt.hh"
 
+#include <stdexcept>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "modmath/primes.hh"
@@ -9,7 +11,14 @@ namespace ive {
 NttTable::NttTable(u64 q, u64 n) : mod_(q), n_(n), logN_(log2Exact(n))
 {
     ive_assert(isPow2(n) && n >= 4);
-    ive_assert((q - 1) % (2 * n) == 0);
+    if ((q - 1) % (2 * n) != 0) {
+        throw std::invalid_argument(strprintf(
+            "NttTable: prime %llu is not NTT-friendly for ring degree "
+            "%llu: the negacyclic transform needs a primitive 2n-th "
+            "root of unity, i.e. (q - 1) %% %llu == 0",
+            (unsigned long long)q, (unsigned long long)n,
+            (unsigned long long)(2 * n)));
+    }
 
     psi_ = rootOfUnity(q, 2 * n);
     u64 psi_inv = mod_.inverse(psi_);

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/thread_pool.hh"
+
 namespace ive {
 
 namespace {
@@ -21,10 +23,13 @@ std::vector<BfvCiphertext>
 processBatch(const PirServer &server, const std::vector<PirQuery> &queries,
              int plane)
 {
-    std::vector<BfvCiphertext> responses;
-    responses.reserve(queries.size());
-    for (const auto &q : queries)
-        responses.push_back(server.process(q, plane));
+    // Queries are independent; batch-level parallelism takes the
+    // coarse lane, and the per-query parallelism inside process()
+    // degrades to inline execution on the worker threads.
+    std::vector<BfvCiphertext> responses(queries.size());
+    parallelFor(0, queries.size(), [&](u64 i) {
+        responses[i] = server.process(queries[i], plane);
+    });
     return responses;
 }
 

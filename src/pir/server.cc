@@ -1,6 +1,7 @@
 #include "pir/server.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace ive {
 
@@ -36,26 +37,37 @@ PirServer::expandQuery(const PirQuery &query) const
     nodes.push_back({query.ct, 0});
 
     for (int t = 0; t < depth; ++t) {
-        std::vector<Node> next;
-        next.reserve(2 * nodes.size());
-        for (auto &node : nodes) {
+        // Children per node are independent; place them at offsets
+        // computed up front so the parallel transform writes disjoint
+        // slots and the result is identical at any thread count.
+        std::vector<size_t> offset(nodes.size() + 1);
+        offset[0] = 0;
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            u64 odd_idx = nodes[i].idx + (u64{1} << t);
+            offset[i + 1] = offset[i] + 1 + (odd_idx < used ? 1 : 0);
+        }
+
+        std::vector<Node> next(offset.back());
+        parallelFor(0, nodes.size(), [&](u64 i) {
+            Node &node = nodes[i];
             BfvCiphertext rotated = subs(ctx_, node.ct, keys_.evks[t]);
-            ++counters_.subsOps;
+            counters_.subsOps.fetch_add(1, std::memory_order_relaxed);
 
             // Even branch: ct + Subs(ct, N/2^t + 1).
             BfvCiphertext even = node.ct;
             addInPlace(ctx_, even, rotated);
 
+            size_t slot = offset[i];
             u64 odd_idx = node.idx + (u64{1} << t);
             if (odd_idx < used) {
                 // Odd branch: X^{-2^t} * (ct - Subs(ct, r)).
                 BfvCiphertext odd = node.ct;
                 subInPlace(ctx_, odd, rotated);
                 monomialMulInPlace(ctx_, odd, monomials_[t]);
-                next.push_back({std::move(odd), odd_idx});
+                next[slot + 1] = {std::move(odd), odd_idx};
             }
-            next.push_back({std::move(even), node.idx});
-        }
+            next[slot] = {std::move(even), node.idx};
+        });
         nodes = std::move(next);
     }
 
@@ -73,25 +85,26 @@ PirServer::buildSelectors(const std::vector<BfvCiphertext> &leaves) const
     const Gadget &g = ctx_.gadgetRgsw();
     int ell = g.ell();
 
-    std::vector<RgswCiphertext> selectors;
-    selectors.reserve(params_.d);
+    std::vector<RgswCiphertext> selectors(params_.d);
     for (int t = 0; t < params_.d; ++t) {
-        RgswCiphertext sel;
-        sel.ell = ell;
-        sel.rows.resize(2 * ell);
-        for (int k = 0; k < ell; ++k) {
-            const BfvCiphertext &leaf =
-                leaves[params_.d0 + static_cast<u64>(t) * ell + k];
-            // b-side row: the leaf's phase is bit * z^k already.
-            sel.rows[ell + k] = leaf;
-            // a-side row: needs phase bit * z^k * s; external product
-            // with RGSW(s) multiplies the phase by s.
-            sel.rows[k] =
-                externalProduct(ctx_, keys_.rgswOfSecret, leaf);
-            ++counters_.externalProducts;
-        }
-        selectors.push_back(std::move(sel));
+        selectors[t].ell = ell;
+        selectors[t].rows.resize(2 * ell);
     }
+    // Each (dimension, gadget-row) pair is independent.
+    parallelFor(0, static_cast<u64>(params_.d) * ell, [&](u64 i) {
+        int t = static_cast<int>(i / ell);
+        int k = static_cast<int>(i % ell);
+        RgswCiphertext &sel = selectors[t];
+        const BfvCiphertext &leaf =
+            leaves[params_.d0 + static_cast<u64>(t) * ell + k];
+        // b-side row: the leaf's phase is bit * z^k already.
+        sel.rows[ell + k] = leaf;
+        // a-side row: needs phase bit * z^k * s; external product
+        // with RGSW(s) multiplies the phase by s.
+        sel.rows[k] = externalProduct(ctx_, keys_.rgswOfSecret, leaf);
+        counters_.externalProducts.fetch_add(1,
+                                             std::memory_order_relaxed);
+    });
     return selectors;
 }
 
@@ -102,18 +115,21 @@ PirServer::rowSel(const std::vector<BfvCiphertext> &leaves,
     ive_assert(leaves.size() >= params_.d0);
     u64 cols = u64{1} << params_.d;
 
+    // Columns are independent; within one column the accumulation
+    // order is fixed, so the output is identical at any thread count.
     std::vector<BfvCiphertext> out(cols);
-    for (u64 r = 0; r < cols; ++r) {
+    parallelFor(0, cols, [&](u64 r) {
         BfvCiphertext acc;
         acc.a = RnsPoly(ctx_.ring(), Domain::Ntt);
         acc.b = RnsPoly(ctx_.ring(), Domain::Ntt);
         for (u64 i = 0; i < params_.d0; ++i) {
             plainMulAcc(ctx_, acc, db_->entry(r * params_.d0 + i, plane),
                         leaves[i]);
-            ++counters_.plainMulAccs;
         }
+        counters_.plainMulAccs.fetch_add(params_.d0,
+                                         std::memory_order_relaxed);
         out[r] = std::move(acc);
-    }
+    });
     return out;
 }
 
@@ -125,7 +141,7 @@ PirServer::foldPair(const BfvCiphertext &e0, const BfvCiphertext &e1,
     BfvCiphertext diff = e1;
     subInPlace(ctx_, diff, e0);
     BfvCiphertext z = externalProduct(ctx_, sel, diff);
-    ++counters_.externalProducts;
+    counters_.externalProducts.fetch_add(1, std::memory_order_relaxed);
     addInPlace(ctx_, z, e0);
     return z;
 }
@@ -142,11 +158,12 @@ PirServer::colTor(std::vector<BfvCiphertext> entries,
     for (int t = 0; t < params_.d; ++t) {
         u64 s = u64{1} << t;
         u64 num = u64{1} << (params_.d - t - 1);
-        for (u64 j = 0; j < num; ++j) {
+        // Folds within one depth touch disjoint entry pairs.
+        parallelFor(0, num, [&](u64 j) {
             entries[2 * s * j] = foldPair(entries[2 * s * j],
                                           entries[2 * s * j + s],
                                           sel[t]);
-        }
+        });
     }
     return entries[0];
 }
@@ -181,12 +198,13 @@ PirServer::processAllPlanes(const PirQuery &query) const
 {
     std::vector<BfvCiphertext> leaves = expandQuery(query);
     std::vector<RgswCiphertext> selectors = buildSelectors(leaves);
-    std::vector<BfvCiphertext> out;
-    out.reserve(params_.planes);
-    for (int plane = 0; plane < params_.planes; ++plane) {
-        std::vector<BfvCiphertext> entries = rowSel(leaves, plane);
-        out.push_back(colTor(std::move(entries), selectors));
-    }
+    // Planes share the expansion but are otherwise independent.
+    std::vector<BfvCiphertext> out(params_.planes);
+    parallelFor(0, static_cast<u64>(params_.planes), [&](u64 plane) {
+        std::vector<BfvCiphertext> entries =
+            rowSel(leaves, static_cast<int>(plane));
+        out[plane] = colTor(std::move(entries), selectors);
+    });
     return out;
 }
 

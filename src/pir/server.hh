@@ -19,23 +19,32 @@
 #ifndef IVE_PIR_SERVER_HH
 #define IVE_PIR_SERVER_HH
 
+#include <atomic>
+
 #include "pir/client.hh"
 #include "pir/database.hh"
 #include "pir/schedule.hh"
 
 namespace ive {
 
-/** Mult/op tallies the server accumulates (validates model/complexity). */
+/**
+ * Mult/op tallies the server accumulates (validates model/complexity).
+ * Atomic because independent queries / planes / RowSel columns run
+ * concurrently on the thread pool; relaxed increments keep the exact
+ * totals the complexity model checks against.
+ */
 struct ServerCounters
 {
-    u64 subsOps = 0;
-    u64 externalProducts = 0;
-    u64 plainMulAccs = 0;
+    std::atomic<u64> subsOps{0};
+    std::atomic<u64> externalProducts{0};
+    std::atomic<u64> plainMulAccs{0};
 
     void
     reset()
     {
-        *this = ServerCounters{};
+        subsOps.store(0, std::memory_order_relaxed);
+        externalProducts.store(0, std::memory_order_relaxed);
+        plainMulAccs.store(0, std::memory_order_relaxed);
     }
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 
 namespace ive {
 
@@ -89,10 +90,14 @@ loadCurve(const ServiceModel &service, const SchedulerConfig &cfg,
           const std::vector<double> &offered_qps, int num_queries,
           u64 seed)
 {
-    std::vector<LoadPoint> out;
-    out.reserve(offered_qps.size());
-    for (double q : offered_qps)
-        out.push_back(simulateLoad(service, cfg, q, num_queries, seed));
+    // Load points are independent simulations with their own Rng; run
+    // them on the thread pool. The service model must be thread-safe
+    // (the analytic models used here are pure functions).
+    std::vector<LoadPoint> out(offered_qps.size());
+    parallelFor(0, offered_qps.size(), [&](u64 i) {
+        out[i] =
+            simulateLoad(service, cfg, offered_qps[i], num_queries, seed);
+    });
     return out;
 }
 

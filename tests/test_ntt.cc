@@ -5,23 +5,39 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/rng.hh"
 #include "modmath/primes.hh"
 #include "ntt/ntt.hh"
+#include "poly/poly.hh"
 
 using namespace ive;
 
 namespace {
 
-/** Schoolbook negacyclic convolution in Z_q[X]/(X^n + 1). */
+/**
+ * Schoolbook negacyclic convolution in Z_q[X]/(X^n + 1), iterating
+ * only over the nonzero coefficients so sparse large-n inputs stay
+ * cheap (the cost is |supp(a)| * |supp(b)| mults).
+ */
 std::vector<u64>
 negacyclicMul(const std::vector<u64> &a, const std::vector<u64> &b,
               const Modulus &mod)
 {
     u64 n = a.size();
+    std::vector<u64> ia, ib;
+    for (u64 i = 0; i < n; ++i)
+        if (a[i])
+            ia.push_back(i);
+    for (u64 j = 0; j < n; ++j)
+        if (b[j])
+            ib.push_back(j);
+
     std::vector<u64> out(n, 0);
-    for (u64 i = 0; i < n; ++i) {
-        for (u64 j = 0; j < n; ++j) {
+    for (u64 i : ia) {
+        for (u64 j : ib) {
             u64 prod = mod.mul(a[i], b[j]);
             u64 k = i + j;
             if (k < n)
@@ -31,6 +47,26 @@ negacyclicMul(const std::vector<u64> &a, const std::vector<u64> &b,
         }
     }
     return out;
+}
+
+/**
+ * Random polynomial whose support is capped at max_terms coefficients.
+ * For large n the support always includes the top coefficient so the
+ * negacyclic wraparound (X^n = -1) is exercised.
+ */
+std::vector<u64>
+randomSparse(u64 n, u64 q, u64 max_terms, Rng &rng)
+{
+    std::vector<u64> a(n, 0);
+    if (n <= max_terms) {
+        for (auto &v : a)
+            v = rng.uniform(q);
+        return a;
+    }
+    a[n - 1] = 1 + rng.uniform(q - 1);
+    for (u64 t = 1; t < max_terms; ++t)
+        a[rng.uniform(n)] = 1 + rng.uniform(q - 1);
+    return a;
 }
 
 } // namespace
@@ -56,16 +92,14 @@ TEST_P(NttTest, RoundTrip)
 TEST_P(NttTest, ConvolutionMatchesSchoolbook)
 {
     auto [q, n] = GetParam();
-    if (n > 256)
-        GTEST_SKIP() << "schoolbook too slow";
+    // The schoolbook reference is quadratic in the support size; cap
+    // it at 256 nonzero terms (dense for n <= 256, sparse above) so
+    // convolution is verified at every parameterized prime and size.
     NttTable ntt(q, n);
     Modulus mod(q);
     Rng rng(12);
-    std::vector<u64> a(n), b(n);
-    for (u64 i = 0; i < n; ++i) {
-        a[i] = rng.uniform(q);
-        b[i] = rng.uniform(q);
-    }
+    std::vector<u64> a = randomSparse(n, q, 256, rng);
+    std::vector<u64> b = randomSparse(n, q, 256, rng);
     auto expect = negacyclicMul(a, b, mod);
 
     std::vector<u64> fa = a, fb = b;
@@ -127,4 +161,31 @@ TEST(Ntt, MultCountFormula)
 {
     NttTable ntt(kIvePrimes[0], 4096);
     EXPECT_EQ(ntt.multCount(), 4096u / 2 * 12);
+}
+
+TEST(Ntt, RejectsNttUnfriendlyPrime)
+{
+    // 1000003 is prime but 1000002 = 2 * 3 * 166667 is not divisible
+    // by 2n for any n >= 4, so no primitive 2n-th root exists.
+    const u64 bad_prime = 1000003;
+    EXPECT_THROW(NttTable(bad_prime, 64), std::invalid_argument);
+    try {
+        NttTable ntt(bad_prime, 64);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("not NTT-friendly"),
+                  std::string::npos)
+            << "message was: " << e.what();
+        EXPECT_NE(std::string(e.what()).find("1000003"),
+                  std::string::npos);
+    }
+}
+
+TEST(Ntt, RingRejectsNttUnfriendlyPrime)
+{
+    // The Ring constructor builds one NttTable per RNS prime; a bad
+    // prime anywhere in the basis must surface the same error.
+    EXPECT_NO_THROW(Ring(64, {kIvePrimes[0], kIvePrimes[1]}));
+    EXPECT_THROW(Ring(64, {kIvePrimes[0], 1000003}),
+                 std::invalid_argument);
 }

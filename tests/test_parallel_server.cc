@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parallel server-path tests: the batched pipeline must produce
+ * byte-identical responses at any thread count, keep the op counters
+ * exact, and still decrypt to the right database entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "pir/batch.hh"
+#include "pir/server.hh"
+
+using namespace ive;
+
+namespace {
+
+PirParams
+smallParams(u64 d0, int d, int planes = 1)
+{
+    PirParams p = PirParams::testSmall();
+    p.he.n = 256;
+    p.d0 = d0;
+    p.d = d;
+    p.planes = planes;
+    return p;
+}
+
+struct PirFixture
+{
+    PirFixture(const PirParams &params, u64 seed)
+        : ctx(params.he), client(ctx, params, seed),
+          db(Database::random(ctx, params, seed + 1)),
+          server(ctx, params, &db, client.genPublicKeys())
+    {
+    }
+
+    HeContext ctx;
+    PirClient client;
+    Database db;
+    PirServer server;
+};
+
+bool
+ctEqual(const BfvCiphertext &x, const BfvCiphertext &y)
+{
+    return x.a == y.a && x.b == y.b;
+}
+
+} // namespace
+
+TEST(ParallelServer, BatchResponsesIdenticalAtOneAndEightThreads)
+{
+    PirParams params = smallParams(16, 3);
+    PirFixture f(params, 21);
+
+    std::vector<PirQuery> queries;
+    std::vector<u64> targets{0, 3, 17, 63, 100, 127};
+    for (u64 t : targets)
+        queries.push_back(f.client.makeQuery(t));
+
+    ThreadPool::setGlobalThreads(1);
+    auto seq = processBatch(f.server, queries);
+    ThreadPool::setGlobalThreads(8);
+    auto par = processBatch(f.server, queries);
+    ThreadPool::setGlobalThreads(1);
+
+    ASSERT_EQ(seq.size(), queries.size());
+    ASSERT_EQ(par.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_TRUE(ctEqual(seq[i], par[i])) << "query " << i;
+        // And both decode to the right entry.
+        EXPECT_EQ(f.client.decode(par[i]),
+                  f.db.entryCoeffs(targets[i]))
+            << "query " << i;
+    }
+}
+
+TEST(ParallelServer, SingleQueryPipelineIdenticalAcrossThreadCounts)
+{
+    PirParams params = smallParams(16, 3);
+    PirFixture f(params, 33);
+    PirQuery q = f.client.makeQuery(42);
+
+    ThreadPool::setGlobalThreads(1);
+    BfvCiphertext base = f.server.process(q);
+    for (int threads : {2, 4, 8}) {
+        ThreadPool::setGlobalThreads(threads);
+        BfvCiphertext resp = f.server.process(q);
+        EXPECT_TRUE(ctEqual(base, resp)) << threads << " threads";
+    }
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(f.client.decode(base), f.db.entryCoeffs(42));
+}
+
+TEST(ParallelServer, MultiPlaneResponsesIdenticalAcrossThreadCounts)
+{
+    PirParams params = smallParams(8, 2, /*planes=*/3);
+    PirFixture f(params, 55);
+    PirQuery q = f.client.makeQuery(9);
+
+    ThreadPool::setGlobalThreads(1);
+    auto base = f.server.processAllPlanes(q);
+    ThreadPool::setGlobalThreads(8);
+    auto par = f.server.processAllPlanes(q);
+    ThreadPool::setGlobalThreads(1);
+
+    ASSERT_EQ(base.size(), static_cast<size_t>(params.planes));
+    ASSERT_EQ(par.size(), base.size());
+    for (size_t p = 0; p < base.size(); ++p)
+        EXPECT_TRUE(ctEqual(base[p], par[p])) << "plane " << p;
+}
+
+TEST(ParallelServer, CountersStayExactUnderParallelism)
+{
+    PirParams params = smallParams(16, 3);
+    PirFixture f(params, 77);
+    PirQuery q = f.client.makeQuery(5);
+
+    ThreadPool::setGlobalThreads(1);
+    f.server.resetCounters();
+    (void)f.server.process(q);
+    u64 subs = f.server.counters().subsOps;
+    u64 ext = f.server.counters().externalProducts;
+    u64 macs = f.server.counters().plainMulAccs;
+
+    ThreadPool::setGlobalThreads(8);
+    f.server.resetCounters();
+    (void)f.server.process(q);
+    EXPECT_EQ(f.server.counters().subsOps, subs);
+    EXPECT_EQ(f.server.counters().externalProducts, ext);
+    EXPECT_EQ(f.server.counters().plainMulAccs, macs);
+    ThreadPool::setGlobalThreads(1);
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Thread-pool tests: coverage, determinism, nesting, error paths, and
+ * a ThreadSanitizer-friendly stress test over the batch scheduler's
+ * parallel load sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "system/batch_scheduler.hh"
+
+using namespace ive;
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const u64 n = 10007;
+    std::vector<int> hits(n, 0);
+    pool.parallelFor(0, n, [&](u64 i) { ++hits[i]; });
+    for (u64 i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, RespectsBeginOffsetAndEmptyRange)
+{
+    ThreadPool pool(3);
+    std::atomic<u64> sum{0};
+    pool.parallelFor(100, 200, [&](u64 i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+
+    bool ran = false;
+    pool.parallelFor(5, 5, [&](u64) { ran = true; });
+    pool.parallelFor(7, 3, [&](u64) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SizeOnePoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1);
+    std::thread::id caller = std::this_thread::get_id();
+    pool.parallelFor(0, 16, [&](u64) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    const u64 outer = 8, inner = 64;
+    std::vector<std::vector<int>> hits(outer,
+                                       std::vector<int>(inner, 0));
+    pool.parallelFor(0, outer, [&](u64 o) {
+        // The nested call must not hand work back to the pool (that
+        // could deadlock with every worker blocked on a child batch).
+        pool.parallelFor(0, inner, [&](u64 i) { ++hits[o][i]; });
+    });
+    for (u64 o = 0; o < outer; ++o)
+        for (u64 i = 0; i < inner; ++i)
+            ASSERT_EQ(hits[o][i], 1) << o << "," << i;
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 100,
+                                  [&](u64 i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 10, [&](u64) { ++count; });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallsDegradeGracefully)
+{
+    ThreadPool pool(4);
+    std::atomic<u64> total{0};
+    std::vector<std::thread> callers;
+    for (int c = 0; c < 4; ++c) {
+        callers.emplace_back([&] {
+            for (int rep = 0; rep < 20; ++rep)
+                pool.parallelFor(0, 100, [&](u64) {
+                    total.fetch_add(1, std::memory_order_relaxed);
+                });
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    EXPECT_EQ(total.load(), 4u * 20u * 100u);
+}
+
+TEST(ThreadPool, GlobalPoolIsReconfigurable)
+{
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::global().size(), 3);
+    std::atomic<int> count{0};
+    parallelFor(0, 50, [&](u64) { ++count; });
+    EXPECT_EQ(count.load(), 50);
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(ThreadPool::global().size(), 1);
+}
+
+namespace {
+
+double
+toyService(int batch)
+{
+    return 0.030 + 0.002 * batch;
+}
+
+} // namespace
+
+TEST(ThreadPool, SchedulerLoadCurveMatchesSequentialSimulation)
+{
+    SchedulerConfig cfg{0.032, 64};
+    std::vector<double> loads;
+    for (int i = 1; i <= 24; ++i)
+        loads.push_back(10.0 * i);
+
+    ThreadPool::setGlobalThreads(8);
+    auto par = loadCurve(toyService, cfg, loads, 2000, 5);
+    ASSERT_EQ(par.size(), loads.size());
+    for (size_t i = 0; i < loads.size(); ++i) {
+        auto seq = simulateLoad(toyService, cfg, loads[i], 2000, 5);
+        EXPECT_EQ(par[i].avgLatencySec, seq.avgLatencySec) << i;
+        EXPECT_EQ(par[i].completedQps, seq.completedQps) << i;
+        EXPECT_EQ(par[i].avgBatch, seq.avgBatch) << i;
+        EXPECT_EQ(par[i].saturated, seq.saturated) << i;
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
+TEST(ThreadPool, SchedulerStressManyConcurrentSweeps)
+{
+    // TSan-friendly stress: several host threads each drive parallel
+    // load sweeps through the shared global pool at once.
+    SchedulerConfig cfg{0.032, 64};
+    std::vector<double> loads{5.0, 20.0, 80.0, 160.0, 320.0};
+    ThreadPool::setGlobalThreads(4);
+
+    std::vector<std::vector<LoadPoint>> results(6);
+    std::vector<std::thread> drivers;
+    for (size_t t = 0; t < results.size(); ++t) {
+        drivers.emplace_back([&, t] {
+            for (int rep = 0; rep < 5; ++rep)
+                results[t] = loadCurve(toyService, cfg, loads, 800,
+                                       u64{3});
+        });
+    }
+    for (auto &t : drivers)
+        t.join();
+
+    for (const auto &r : results) {
+        ASSERT_EQ(r.size(), loads.size());
+        for (size_t i = 0; i < r.size(); ++i) {
+            EXPECT_EQ(r[i].avgLatencySec, results[0][i].avgLatencySec);
+            EXPECT_EQ(r[i].completedQps, results[0][i].completedQps);
+        }
+    }
+    ThreadPool::setGlobalThreads(1);
+}
