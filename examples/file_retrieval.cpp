@@ -4,15 +4,16 @@
  *
  * Files larger than one plaintext span multiple database "planes" that
  * share a single expanded query: ExpandQuery runs once, RowSel/ColTor
- * repeat per plane. Part 1 retrieves a multi-plane file functionally;
- * Part 2 simulates the paper's 1.25 TB file system on a 16-system IVE
- * cluster (Table III row 'Fsys').
+ * repeat per plane. Part 1 retrieves a multi-plane file bytes-only —
+ * client and server exchange opaque wire blobs (pir/session.hh), the
+ * shape a socket or RPC layer would move. Part 2 simulates the paper's
+ * 1.25 TB file system on a 16-system IVE cluster (Table III 'Fsys').
  */
 
 #include <cstdio>
 
 #include "common/units.hh"
-#include "pir/server.hh"
+#include "pir/session.hh"
 #include "system/cluster.hh"
 
 using namespace ive;
@@ -20,42 +21,50 @@ using namespace ive;
 int
 main()
 {
-    // ---- Part 1: a file spanning 4 planes ----
+    // ---- Part 1: a file spanning 4 planes, retrieved over blobs ----
     PirParams params = PirParams::testSmall();
     params.d0 = 8;
     params.d = 2; // 32 files
     params.planes = 4;
-    HeContext ctx(params.he);
     u64 file_bytes = params.bytesPerPlaintext() * params.planes;
     std::printf("file store: %llu files x %llu bytes (%d planes per "
                 "file)\n",
                 (unsigned long long)params.numEntries(),
                 (unsigned long long)file_bytes, params.planes);
 
-    Database db(ctx, params);
-    db.fill([&](u64 entry, int plane) {
-        std::vector<u64> coeffs(ctx.n());
-        for (u64 j = 0; j < ctx.n(); ++j)
+    // Client side: everything it sends is a std::vector<uint8_t>.
+    ClientSession client(params, 7);
+    std::vector<u8> params_blob = client.paramsBlob();
+    std::vector<u8> key_blob = client.keyBlob(); // uploaded once
+
+    // Server side: built purely from the client's params blob.
+    ServerSession server(params_blob);
+    server.database().fill([&](u64 entry, int plane) {
+        std::vector<u64> coeffs(params.he.n);
+        for (u64 j = 0; j < params.he.n; ++j)
             coeffs[j] = (entry * 7919 + plane * 104729 + j) &
                         0xffffffffu;
         return coeffs;
     });
-
-    PirClient client(ctx, params, 7);
-    PirServer server(ctx, params, &db, client.genPublicKeys());
+    server.ingestKeys(key_blob);
 
     u64 file_id = 19;
-    PirQuery q = client.makeQuery(file_id);
-    // One expansion, planes * (RowSel + ColTor):
-    auto responses = server.processAllPlanes(q);
-    bool ok = true;
-    for (int plane = 0; plane < params.planes; ++plane) {
-        ok = ok && client.decode(responses[plane]) ==
-                       db.entryCoeffs(file_id, plane);
+    std::vector<u8> query_blob = client.queryBlob(file_id);
+    // One expansion, planes * (RowSel + ColTor), one response blob:
+    std::vector<u8> response_blob = server.answer(query_blob);
+    auto chunks = client.decodeResponse(response_blob);
+    bool ok = chunks.size() == static_cast<u64>(params.planes);
+    for (int plane = 0; ok && plane < params.planes; ++plane) {
+        ok = chunks[plane] ==
+             server.database().entryCoeffs(file_id, plane);
     }
     std::printf("file %llu (%d chunks) retrieved: %s\n",
                 (unsigned long long)file_id, params.planes,
                 ok ? "OK" : "FAIL");
+    std::printf("wire traffic: keys %zu B (once) + query %zu B -> "
+                "response %zu B\n",
+                key_blob.size(), query_blob.size(),
+                response_blob.size());
     std::printf("server did %llu Subs for %d planes (expansion "
                 "shared)\n\n",
                 (unsigned long long)server.counters().subsOps,

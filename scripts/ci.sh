@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + tests, then an ASan/UBSan configuration.
 #
-# Usage: scripts/ci.sh [--skip-sanitize] [--tsan]
+# Test subsets are selected by CTest label (see tests/CMakeLists.txt):
+# tier1 = everything, slow = full-pipeline crypto suites, thread = the
+# suites the TSan stage exercises.
+#
+# Usage: scripts/ci.sh [--quick] [--skip-sanitize] [--tsan]
+#   --quick          run only `-L tier1 -LE slow` (fast edit loop)
 #   --skip-sanitize  only run the tier-1 (plain Release) configuration
 #   --tsan           additionally run the thread-heavy suites under TSan
 set -euo pipefail
@@ -11,8 +16,10 @@ cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 SKIP_SANITIZE=0
 RUN_TSAN=0
+CTEST_SELECT=(-L tier1)
 for arg in "$@"; do
     case "$arg" in
+        --quick) CTEST_SELECT=(-L tier1 -LE slow) ;;
         --skip-sanitize) SKIP_SANITIZE=1 ;;
         --tsan) RUN_TSAN=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
@@ -22,7 +29,7 @@ done
 echo "=== tier-1: Release build + ctest ==="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS" "${CTEST_SELECT[@]}"
 
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
     echo "=== ASan/UBSan build + ctest ==="
@@ -30,17 +37,20 @@ if [ "$SKIP_SANITIZE" -eq 0 ]; then
           -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
     cmake --build build-asan -j "$JOBS"
     # Death tests fork; ASan's allocator makes that slow but correct.
-    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+    # The serde suites' malformed-blob sweeps run here with full
+    # over-read detection.
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+          "${CTEST_SELECT[@]}"
 fi
 
 if [ "$RUN_TSAN" -eq 1 ]; then
-    echo "=== TSan build + thread-heavy suites ==="
+    echo "=== TSan build + thread-heavy suites (-L thread) ==="
     cmake -B build-tsan -S . -DIVE_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j "$JOBS" --target \
-          test_thread_pool test_parallel_server test_system
-    ctest --test-dir build-tsan --output-on-failure \
-          -R 'test_thread_pool|test_parallel_server|test_system'
+          test_thread_pool test_parallel_server test_system \
+          test_session test_golden
+    ctest --test-dir build-tsan --output-on-failure -L thread
 fi
 
 echo "=== CI passed ==="

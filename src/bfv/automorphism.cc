@@ -57,4 +57,33 @@ subs(const HeContext &ctx, const BfvCiphertext &ct, const EvkKey &evk)
     return out;
 }
 
+void
+saveEvkKey(ByteWriter &w, const EvkKey &evk)
+{
+    w.writeU64(evk.r);
+    w.writeU64(evk.rows.size());
+    for (const BfvCiphertext &row : evk.rows)
+        saveBfvCiphertext(w, row);
+}
+
+EvkKey
+loadEvkKey(ByteReader &r, const HeContext &ctx)
+{
+    EvkKey evk;
+    evk.r = r.readU64();
+    if (evk.r % 2 == 0 || evk.r >= 2 * ctx.n())
+        r.fail(strprintf("invalid evk rotation %llu",
+                         static_cast<unsigned long long>(evk.r)));
+    u64 rows = r.readCount(static_cast<u64>(ctx.config().ellKs),
+                           bfvCiphertextWireBytes(ctx.ring()),
+                           "evk row");
+    if (rows != static_cast<u64>(ctx.config().ellKs))
+        r.fail(strprintf("evk has %llu rows, context expects %d",
+                         static_cast<unsigned long long>(rows),
+                         ctx.config().ellKs));
+    for (u64 k = 0; k < rows; ++k)
+        evk.rows.push_back(loadBfvCiphertext(r, ctx.ring()));
+    return evk;
+}
+
 } // namespace ive

@@ -39,6 +39,15 @@ EvkKey genEvk(const HeContext &ctx, const SecretKey &sk, Rng &rng, u64 r);
 BfvCiphertext subs(const HeContext &ctx, const BfvCiphertext &ct,
                    const EvkKey &evk);
 
+/** Wire encoding: rotation r, row count, then the RLWE rows. */
+void saveEvkKey(ByteWriter &w, const EvkKey &evk);
+
+/**
+ * Loads an evk whose row count must equal the context's ellKs and
+ * whose rotation must be odd and < 2n (else SerializeError).
+ */
+EvkKey loadEvkKey(ByteReader &r, const HeContext &ctx);
+
 } // namespace ive
 
 #endif // IVE_BFV_AUTOMORPHISM_HH

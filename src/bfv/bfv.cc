@@ -130,4 +130,20 @@ monomialMulInPlace(const HeContext &ctx, BfvCiphertext &ct,
     ct.b.mulInPlace(ctx.ring(), monomial_ntt);
 }
 
+void
+saveBfvCiphertext(ByteWriter &w, const BfvCiphertext &ct)
+{
+    saveRnsPoly(w, ct.a);
+    saveRnsPoly(w, ct.b);
+}
+
+BfvCiphertext
+loadBfvCiphertext(ByteReader &r, const Ring &ring)
+{
+    BfvCiphertext ct;
+    ct.a = loadRnsPoly(r, ring);
+    ct.b = loadRnsPoly(r, ring);
+    return ct;
+}
+
 } // namespace ive

@@ -79,6 +79,21 @@ void plainMulAcc(const HeContext &ctx, BfvCiphertext &acc,
 void monomialMulInPlace(const HeContext &ctx, BfvCiphertext &ct,
                         const RnsPoly &monomial_ntt);
 
+/** Wire encoding: the a then b polynomials (see saveRnsPoly). */
+void saveBfvCiphertext(ByteWriter &w, const BfvCiphertext &ct);
+BfvCiphertext loadBfvCiphertext(ByteReader &r, const Ring &ring);
+
+/**
+ * Exact wire size of one serialized BFV ciphertext: two polynomials
+ * of a domain byte plus k*n residue words each. Decoders use this to
+ * vet declared element counts before allocating.
+ */
+inline u64
+bfvCiphertextWireBytes(const Ring &ring)
+{
+    return 2 * (1 + ring.words() * 8);
+}
+
 } // namespace ive
 
 #endif // IVE_BFV_BFV_HH

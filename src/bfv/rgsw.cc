@@ -116,4 +116,34 @@ externalProduct(const HeContext &ctx, const RgswCiphertext &rgsw,
     return out;
 }
 
+void
+saveRgswCiphertext(ByteWriter &w, const RgswCiphertext &rgsw)
+{
+    w.writeU64(static_cast<u64>(rgsw.ell));
+    w.writeU64(rgsw.rows.size());
+    for (const BfvCiphertext &row : rgsw.rows)
+        saveBfvCiphertext(w, row);
+}
+
+RgswCiphertext
+loadRgswCiphertext(ByteReader &r, const HeContext &ctx)
+{
+    RgswCiphertext rgsw;
+    u64 ell = r.readU64();
+    if (ell != static_cast<u64>(ctx.gadgetRgsw().ell()))
+        r.fail(strprintf("rgsw ell %llu does not match context ell %d",
+                         static_cast<unsigned long long>(ell),
+                         ctx.gadgetRgsw().ell()));
+    rgsw.ell = static_cast<int>(ell);
+    u64 rows = r.readCount(2 * ell, bfvCiphertextWireBytes(ctx.ring()),
+                           "rgsw row");
+    if (rows != 2 * ell)
+        r.fail(strprintf("rgsw has %llu rows, expected %llu",
+                         static_cast<unsigned long long>(rows),
+                         static_cast<unsigned long long>(2 * ell)));
+    for (u64 k = 0; k < rows; ++k)
+        rgsw.rows.push_back(loadBfvCiphertext(r, ctx.ring()));
+    return rgsw;
+}
+
 } // namespace ive

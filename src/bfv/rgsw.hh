@@ -55,6 +55,15 @@ BfvCiphertext externalProduct(const HeContext &ctx,
                               const RgswCiphertext &rgsw,
                               const BfvCiphertext &ct);
 
+/** Wire encoding: ell, then the 2*ell RLWE rows. */
+void saveRgswCiphertext(ByteWriter &w, const RgswCiphertext &rgsw);
+
+/**
+ * Loads an RGSW ciphertext whose ell must match the context's RGSW
+ * gadget (else SerializeError).
+ */
+RgswCiphertext loadRgswCiphertext(ByteReader &r, const HeContext &ctx);
+
 } // namespace ive
 
 #endif // IVE_BFV_RGSW_HH

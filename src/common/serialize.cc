@@ -1,0 +1,62 @@
+#include "common/serialize.hh"
+
+#include "common/logging.hh"
+
+namespace ive {
+
+void
+ByteWriter::writeHeader(WireKind kind)
+{
+    writeBytes(kWireMagic);
+    writeU8(kWireVersion);
+    writeU8(static_cast<u8>(kind));
+}
+
+void
+ByteReader::readHeader(WireKind expected_kind)
+{
+    if (remaining() < sizeof(kWireMagic) + 2)
+        fail("truncated wire header");
+    for (u8 m : kWireMagic) {
+        if (readU8() != m)
+            fail("bad magic (not an IVE wire blob)");
+    }
+    u8 version = readU8();
+    if (version != kWireVersion)
+        fail(strprintf("unsupported wire version %u (expected %u)",
+                       version, kWireVersion));
+    u8 kind = readU8();
+    if (kind != static_cast<u8>(expected_kind))
+        fail(strprintf("wrong object kind %u (expected %u)", kind,
+                       static_cast<unsigned>(expected_kind)));
+}
+
+u64
+ByteReader::readCount(u64 max, u64 min_elem_bytes, const char *what)
+{
+    u64 count = readU64();
+    if (count > max)
+        fail(strprintf("%s count %llu out of range (max %llu)", what,
+                       static_cast<unsigned long long>(count),
+                       static_cast<unsigned long long>(max)));
+    if (min_elem_bytes > 0 && count > remaining() / min_elem_bytes)
+        fail(strprintf("%s count %llu exceeds remaining buffer", what,
+                       static_cast<unsigned long long>(count)));
+    return count;
+}
+
+void
+ByteReader::expectEnd() const
+{
+    if (remaining() != 0)
+        fail(strprintf("%zu trailing bytes after blob", remaining()));
+}
+
+void
+ByteReader::fail(const std::string &msg) const
+{
+    throw SerializeError(strprintf("wire: %s (at offset %zu of %zu)",
+                                   msg.c_str(), pos_, data_.size()));
+}
+
+} // namespace ive

@@ -1,0 +1,135 @@
+#include "pir/session.hh"
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace ive {
+
+ClientSession::ClientSession(const PirParams &params, u64 seed)
+    : params_(params), ctx_(params_.he), client_(ctx_, params_, seed)
+{
+    // Generate keys eagerly: keyBlob() becomes a cheap (repeatable)
+    // copy, and the query RNG stream no longer depends on whether or
+    // how often the caller asked for the key blob.
+    keyBlob_ = serializePublicKeys(ctx_, client_.genPublicKeys());
+}
+
+std::vector<u8>
+ClientSession::paramsBlob() const
+{
+    return serializeParams(params_);
+}
+
+std::vector<u8>
+ClientSession::keyBlob() const
+{
+    return keyBlob_;
+}
+
+std::vector<u8>
+ClientSession::queryBlob(u64 entry_index)
+{
+    return serializeQuery(ctx_, client_.makeQuery(entry_index));
+}
+
+std::vector<std::vector<u64>>
+ClientSession::decodeResponse(std::span<const u8> response_blob) const
+{
+    PirResponse resp = deserializeResponse(ctx_, response_blob);
+    if (resp.planes.size() != static_cast<u64>(params_.planes))
+        throw SerializeError(
+            strprintf("response has %zu planes, expected %d",
+                      resp.planes.size(), params_.planes));
+    std::vector<std::vector<u64>> out;
+    for (const BfvCiphertext &ct : resp.planes)
+        out.push_back(client_.decode(ct));
+    return out;
+}
+
+ServerSession::ServerSession(std::span<const u8> params_blob)
+    : ServerSession(deserializeParams(params_blob))
+{
+}
+
+ServerSession::ServerSession(const PirParams &params)
+    : params_(params), ctx_(params_.he), db_(ctx_, params_)
+{
+}
+
+void
+ServerSession::ingestKeys(std::span<const u8> key_blob)
+{
+    PirPublicKeys keys = deserializePublicKeys(ctx_, key_blob);
+    // Protocol-level compatibility: the server indexes evks[t] by
+    // expansion-tree level and assumes the rotation schedule, so a
+    // structurally valid blob from mismatched params must be rejected
+    // here (PirServer's constructor would abort on it).
+    int depth = params_.expansionDepth();
+    if (keys.evks.size() < static_cast<u64>(depth))
+        throw SerializeError(strprintf(
+            "key blob has %zu evks, params need %d expansion levels",
+            keys.evks.size(), depth));
+    for (int t = 0; t < depth; ++t) {
+        u64 want = ctx_.n() / (u64{1} << t) + 1;
+        if (keys.evks[t].r != want)
+            throw SerializeError(strprintf(
+                "evk %d rotates by %llu, expansion level needs %llu",
+                t, static_cast<unsigned long long>(keys.evks[t].r),
+                static_cast<unsigned long long>(want)));
+    }
+    server_ = std::make_unique<PirServer>(ctx_, params_, &db_,
+                                          std::move(keys));
+}
+
+const PirServer &
+ServerSession::server() const
+{
+    if (!server_)
+        throw std::logic_error(
+            "ServerSession: no client keys ingested yet");
+    return *server_;
+}
+
+std::vector<u8>
+ServerSession::answer(std::span<const u8> query_blob) const
+{
+    PirQuery q = deserializeQuery(ctx_, query_blob);
+    PirResponse resp{server().processAllPlanes(q)};
+    return serializeResponse(ctx_, resp);
+}
+
+std::vector<u8>
+ServerSession::answerPlane(std::span<const u8> query_blob, int plane) const
+{
+    PirQuery q = deserializeQuery(ctx_, query_blob);
+    PirResponse resp{{server().process(q, plane)}};
+    return serializeResponse(ctx_, resp);
+}
+
+std::vector<std::vector<u8>>
+ServerSession::answerBatch(
+    const std::vector<std::vector<u8>> &query_blobs) const
+{
+    // Deserialize up front so a malformed blob throws on the calling
+    // thread, then answer in parallel (queries are independent).
+    std::vector<PirQuery> queries;
+    queries.reserve(query_blobs.size());
+    for (const auto &blob : query_blobs)
+        queries.push_back(deserializeQuery(ctx_, blob));
+
+    const PirServer &srv = server();
+    std::vector<std::vector<u8>> responses(queries.size());
+    parallelFor(0, queries.size(), [&](u64 i) {
+        PirResponse resp{srv.processAllPlanes(queries[i])};
+        responses[i] = serializeResponse(ctx_, resp);
+    });
+    return responses;
+}
+
+const ServerCounters &
+ServerSession::counters() const
+{
+    return server().counters();
+}
+
+} // namespace ive

@@ -1,0 +1,251 @@
+#include "pir/wire.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "modmath/primes.hh"
+
+namespace ive {
+
+namespace {
+
+/** Largest ring degree the loader will accept (2^20 coefficients). */
+constexpr u64 kMaxRingN = u64{1} << 20;
+/** RNS primes are ~28-bit; eight already exceed the u128 headroom. */
+constexpr u64 kMaxPrimes = 8;
+/** Gadget digit counts beyond this make no sense for u128 moduli. */
+constexpr u64 kMaxEll = 64;
+/**
+ * Cap on the preprocessed database footprint (entries * planes * n *
+ * k * 8 bytes) a params blob may imply: ServerSession materializes the
+ * whole database in memory, so a hostile blob must not be able to
+ * drive an allocation no host could satisfy. 64 GiB is comfortably
+ * above every functional configuration in the repo; paper-scale
+ * multi-TB stores are the cluster/sharding layer's business.
+ */
+constexpr u128 kMaxDbWireBytes = u128{1} << 36;
+
+void
+checkRange(ByteReader &r, bool ok, const char *what, u64 value)
+{
+    if (!ok)
+        r.fail(strprintf("%s %llu out of range", what,
+                         static_cast<unsigned long long>(value)));
+}
+
+/**
+ * Throwing mirror of every ive_assert the parameter set will hit on
+ * its way through Modulus/RnsBase/NttTable/Gadget/HeContext
+ * construction. A params blob that passes here builds a ServerSession
+ * without aborting; one that would abort throws SerializeError
+ * instead (the reader's never-crash contract).
+ */
+void
+checkConstructible(ByteReader &r, const PirParams &p)
+{
+    std::vector<u64> primes = p.he.primes;
+    if (primes.empty())
+        primes = {kIvePrimes.begin(), kIvePrimes.end()};
+
+    double log_q = 0.0;
+    for (size_t i = 0; i < primes.size(); ++i) {
+        u64 prime = primes[i];
+        // Modulus: Barrett constants need q < 2^62; RnsBase: CRT needs
+        // actual (distinct) primes; NttTable: 2n | q-1.
+        checkRange(r, prime > 1 && prime < (u64{1} << 62), "prime",
+                   prime);
+        if (!isPrime(prime))
+            r.fail(strprintf("modulus %llu is not prime",
+                             static_cast<unsigned long long>(prime)));
+        if (prime % (2 * p.he.n) != 1)
+            r.fail(strprintf(
+                "prime %llu is not NTT-friendly for n = %llu",
+                static_cast<unsigned long long>(prime),
+                static_cast<unsigned long long>(p.he.n)));
+        for (size_t j = 0; j < i; ++j) {
+            if (primes[j] == prime)
+                r.fail(strprintf("duplicate prime %llu",
+                                 static_cast<unsigned long long>(prime)));
+        }
+        log_q += std::log2(static_cast<double>(prime));
+    }
+    // RnsBase: 128-bit intermediates (sums of k terms < Q) must fit.
+    if (log_q + std::log2(static_cast<double>(primes.size())) >= 127.0)
+        r.fail("modulus chain exceeds 128-bit headroom");
+    // HeContext: Delta must dominate P or there is no noise room.
+    if (log_q <= std::log2(static_cast<double>(p.he.plainModulus)) + 20)
+        r.fail("plaintext modulus leaves no noise room under Q");
+    // Gadget: base in [2^1, 2^30] and z^ell must cover Q.
+    checkRange(r, p.he.logZKs <= 30, "logZKs", p.he.logZKs);
+    checkRange(r, p.he.logZRgsw <= 30, "logZRgsw", p.he.logZRgsw);
+    if (static_cast<double>(p.he.logZKs) * p.he.ellKs < log_q)
+        r.fail("key-switching gadget does not cover Q");
+    if (static_cast<double>(p.he.logZRgsw) * p.he.ellRgsw < log_q)
+        r.fail("RGSW gadget does not cover Q");
+    // Database: bound the preprocessed bytes a blob can demand.
+    u128 pre_bytes = static_cast<u128>(p.numEntries()) * p.planes *
+                     p.he.n * primes.size() * 8;
+    if (pre_bytes > kMaxDbWireBytes)
+        r.fail(strprintf("database of %llu x %d plaintexts needs "
+                         "%.1f GiB preprocessed, over the wire cap",
+                         static_cast<unsigned long long>(p.numEntries()),
+                         p.planes,
+                         static_cast<double>(pre_bytes) /
+                             (1024.0 * 1024.0 * 1024.0)));
+}
+
+} // namespace
+
+std::vector<u8>
+serializeParams(const PirParams &params)
+{
+    ByteWriter w;
+    w.writeHeader(WireKind::Params);
+    w.writeU64(params.he.n);
+    w.writeU64(params.he.plainModulus);
+    w.writeU32(static_cast<u32>(params.he.logZKs));
+    w.writeU32(static_cast<u32>(params.he.ellKs));
+    w.writeU32(static_cast<u32>(params.he.logZRgsw));
+    w.writeU32(static_cast<u32>(params.he.ellRgsw));
+    w.writeU64(params.he.primes.size());
+    for (u64 p : params.he.primes)
+        w.writeU64(p);
+    w.writeU64(params.d0);
+    w.writeU32(static_cast<u32>(params.d));
+    w.writeU32(static_cast<u32>(params.planes));
+    return w.take();
+}
+
+PirParams
+deserializeParams(std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    r.readHeader(WireKind::Params);
+    PirParams p;
+    p.he.n = r.readU64();
+    checkRange(r, isPow2(p.he.n) && p.he.n >= 4 && p.he.n <= kMaxRingN,
+               "ring degree", p.he.n);
+    p.he.plainModulus = r.readU64();
+    checkRange(r, isPow2(p.he.plainModulus) && p.he.plainModulus >= 2,
+               "plaintext modulus", p.he.plainModulus);
+    p.he.logZKs = static_cast<int>(r.readU32());
+    checkRange(r, p.he.logZKs >= 1 && p.he.logZKs <= 63, "logZKs",
+               p.he.logZKs);
+    p.he.ellKs = static_cast<int>(r.readU32());
+    checkRange(r, p.he.ellKs >= 1 &&
+                   static_cast<u64>(p.he.ellKs) <= kMaxEll,
+               "ellKs", p.he.ellKs);
+    p.he.logZRgsw = static_cast<int>(r.readU32());
+    checkRange(r, p.he.logZRgsw >= 1 && p.he.logZRgsw <= 63, "logZRgsw",
+               p.he.logZRgsw);
+    p.he.ellRgsw = static_cast<int>(r.readU32());
+    checkRange(r, p.he.ellRgsw >= 1 &&
+                   static_cast<u64>(p.he.ellRgsw) <= kMaxEll,
+               "ellRgsw", p.he.ellRgsw);
+    u64 num_primes = r.readCount(kMaxPrimes, 8, "prime");
+    for (u64 i = 0; i < num_primes; ++i) {
+        u64 prime = r.readU64();
+        checkRange(r, prime >= 2, "prime", prime);
+        p.he.primes.push_back(prime);
+    }
+    p.d0 = r.readU64();
+    checkRange(r, isPow2(p.d0) && p.d0 <= kMaxRingN, "d0", p.d0);
+    p.d = static_cast<int>(r.readU32());
+    checkRange(r, p.d >= 0 && p.d <= 40, "dimension count", p.d);
+    p.planes = static_cast<int>(r.readU32());
+    checkRange(r, p.planes >= 1 && p.planes <= (1 << 20), "planes",
+               p.planes);
+    if (p.usedLeaves() > p.he.n)
+        r.fail(strprintf("query does not fit one ring element "
+                         "(D0 + d*l = %llu > N = %llu)",
+                         static_cast<unsigned long long>(p.usedLeaves()),
+                         static_cast<unsigned long long>(p.he.n)));
+    checkConstructible(r, p);
+    r.expectEnd();
+    return p;
+}
+
+std::vector<u8>
+serializePublicKeys(const HeContext &ctx, const PirPublicKeys &keys)
+{
+    (void)ctx;
+    ByteWriter w;
+    w.writeHeader(WireKind::PublicKeys);
+    w.writeU64(keys.evks.size());
+    for (const EvkKey &evk : keys.evks)
+        saveEvkKey(w, evk);
+    saveRgswCiphertext(w, keys.rgswOfSecret);
+    return w.take();
+}
+
+PirPublicKeys
+deserializePublicKeys(const HeContext &ctx, std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    r.readHeader(WireKind::PublicKeys);
+    PirPublicKeys keys;
+    // One evk per expansion-tree level; depth can never exceed log2(n).
+    u64 max_evks = log2Exact(ctx.n());
+    u64 evk_bytes = 16 + static_cast<u64>(ctx.config().ellKs) *
+                             bfvCiphertextWireBytes(ctx.ring());
+    u64 num_evks = r.readCount(max_evks, evk_bytes, "evk");
+    for (u64 i = 0; i < num_evks; ++i)
+        keys.evks.push_back(loadEvkKey(r, ctx));
+    keys.rgswOfSecret = loadRgswCiphertext(r, ctx);
+    r.expectEnd();
+    return keys;
+}
+
+std::vector<u8>
+serializeQuery(const HeContext &ctx, const PirQuery &query)
+{
+    (void)ctx;
+    ByteWriter w;
+    w.writeHeader(WireKind::Query);
+    saveBfvCiphertext(w, query.ct);
+    return w.take();
+}
+
+PirQuery
+deserializeQuery(const HeContext &ctx, std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    r.readHeader(WireKind::Query);
+    PirQuery q{loadBfvCiphertext(r, ctx.ring())};
+    if (!q.ct.a.isNtt() || !q.ct.b.isNtt())
+        r.fail("query ciphertext must be in NTT form");
+    r.expectEnd();
+    return q;
+}
+
+std::vector<u8>
+serializeResponse(const HeContext &ctx, const PirResponse &response)
+{
+    (void)ctx;
+    ByteWriter w;
+    w.writeHeader(WireKind::Response);
+    w.writeU64(response.planes.size());
+    for (const BfvCiphertext &ct : response.planes)
+        saveBfvCiphertext(w, ct);
+    return w.take();
+}
+
+PirResponse
+deserializeResponse(const HeContext &ctx, std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    r.readHeader(WireKind::Response);
+    PirResponse resp;
+    u64 planes = r.readCount(u64{1} << 20,
+                             bfvCiphertextWireBytes(ctx.ring()),
+                             "response plane");
+    if (planes == 0)
+        r.fail("response has zero planes");
+    for (u64 i = 0; i < planes; ++i)
+        resp.planes.push_back(loadBfvCiphertext(r, ctx.ring()));
+    r.expectEnd();
+    return resp;
+}
+
+} // namespace ive

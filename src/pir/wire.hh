@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Top-level wire blobs for the PIR protocol.
+ *
+ * Four framed blob kinds cross the client/server boundary (compare
+ * SealPIR's serialized Galois keys and query/reply strings):
+ *
+ *   Params     - the negotiated parameter set (no secrets)
+ *   PublicKeys - per-client expansion evks + RGSW(s), uploaded once
+ *   Query      - one packed query ciphertext
+ *   Response   - one BfvCiphertext per plane of the addressed record
+ *
+ * Each blob is magic "IVEW" + version + kind, then the object fields
+ * (see README "Wire format" for the exact field order). Deserializers
+ * consume the entire buffer and throw SerializeError on any malformed,
+ * truncated, or version-incompatible input.
+ */
+
+#ifndef IVE_PIR_WIRE_HH
+#define IVE_PIR_WIRE_HH
+
+#include "pir/client.hh"
+
+namespace ive {
+
+/** Server's answer to one query: one ciphertext per record plane. */
+struct PirResponse
+{
+    std::vector<BfvCiphertext> planes;
+};
+
+std::vector<u8> serializeParams(const PirParams &params);
+PirParams deserializeParams(std::span<const u8> blob);
+
+std::vector<u8> serializePublicKeys(const HeContext &ctx,
+                                    const PirPublicKeys &keys);
+PirPublicKeys deserializePublicKeys(const HeContext &ctx,
+                                    std::span<const u8> blob);
+
+std::vector<u8> serializeQuery(const HeContext &ctx,
+                               const PirQuery &query);
+PirQuery deserializeQuery(const HeContext &ctx,
+                          std::span<const u8> blob);
+
+std::vector<u8> serializeResponse(const HeContext &ctx,
+                                  const PirResponse &response);
+PirResponse deserializeResponse(const HeContext &ctx,
+                                std::span<const u8> blob);
+
+} // namespace ive
+
+#endif // IVE_PIR_WIRE_HH

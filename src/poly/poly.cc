@@ -259,4 +259,35 @@ RnsPoly::noise(const Ring &ring, Rng &rng)
     return out;
 }
 
+void
+saveRnsPoly(ByteWriter &w, const RnsPoly &poly)
+{
+    w.writeU8(poly.isNtt() ? 1 : 0);
+    for (int p = 0; p < poly.k(); ++p) {
+        for (u64 i = 0; i < poly.n(); ++i)
+            w.writeU64(poly.at(p, i));
+    }
+}
+
+RnsPoly
+loadRnsPoly(ByteReader &r, const Ring &ring)
+{
+    u8 domain = r.readU8();
+    if (domain > 1)
+        r.fail(strprintf("invalid polynomial domain tag %u", domain));
+    RnsPoly out(ring, domain ? Domain::Ntt : Domain::Coeff);
+    for (int p = 0; p < ring.k(); ++p) {
+        u64 q = ring.base.modulus(p).value();
+        for (u64 i = 0; i < ring.n; ++i) {
+            u64 v = r.readU64();
+            if (v >= q)
+                r.fail(strprintf(
+                    "residue %llu out of range for prime %d",
+                    static_cast<unsigned long long>(v), p));
+            out.set(p, i, v);
+        }
+    }
+    return out;
+}
+
 } // namespace ive

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "ntt/ntt.hh"
 #include "rns/rns_base.hh"
@@ -116,6 +117,16 @@ class RnsPoly
     Domain domain_ = Domain::Coeff;
     std::vector<u64> data_;
 };
+
+/** Wire encoding: domain byte, then k*n residue words (prime-major). */
+void saveRnsPoly(ByteWriter &w, const RnsPoly &poly);
+
+/**
+ * Reads a polynomial that must match the ring's (n, k); every residue
+ * is checked against its prime so only canonical encodings decode.
+ * Throws SerializeError on any mismatch.
+ */
+RnsPoly loadRnsPoly(ByteReader &r, const Ring &ring);
 
 } // namespace ive
 

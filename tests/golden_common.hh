@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared definition of the golden-vector fixture.
+ *
+ * tests/gen_golden.cc writes the fixture blobs under tests/data/ and
+ * tests/test_golden.cc checks the encoder still reproduces them
+ * byte-for-byte. Both must agree on the parameter set, seeds, database
+ * content, and the exact client call order (the client RNG stream is
+ * consumed by key generation before query packing).
+ */
+
+#ifndef IVE_TESTS_GOLDEN_COMMON_HH
+#define IVE_TESTS_GOLDEN_COMMON_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pir/session.hh"
+
+namespace ive::golden {
+
+inline constexpr u64 kClientSeed = 0x90143Dul;
+inline constexpr u64 kEntry = 13;
+
+inline PirParams
+params()
+{
+    PirParams p = PirParams::testSmall();
+    p.he.n = 256;
+    p.d0 = 4;
+    p.d = 2;
+    p.planes = 2;
+    return p;
+}
+
+/** Deterministic database content (no RNG involved). */
+inline std::vector<u64>
+entryContent(const PirParams &p, u64 entry, int plane)
+{
+    std::vector<u64> coeffs(p.he.n);
+    for (u64 j = 0; j < p.he.n; ++j)
+        coeffs[j] = (entry * 7919 + static_cast<u64>(plane) * 104729 +
+                     j * 31 + 5) &
+                    (p.he.plainModulus - 1);
+    return coeffs;
+}
+
+/** FNV-1a 64-bit hash, for pinning blobs too large to commit. */
+inline u64
+fnv64(std::span<const u8> bytes)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    for (u8 b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+inline std::string
+dataPath(const std::string &name)
+{
+    return std::string(IVE_TEST_DATA_DIR) + "/" + name;
+}
+
+inline std::vector<u8>
+readBlob(const std::string &name)
+{
+    std::ifstream in(dataPath(name), std::ios::binary);
+    if (!in)
+        return {};
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+inline bool
+writeBlob(const std::string &name, std::span<const u8> bytes)
+{
+    std::ofstream out(dataPath(name), std::ios::binary);
+    if (!out)
+        return false;
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return out.good();
+}
+
+} // namespace ive::golden
+
+#endif // IVE_TESTS_GOLDEN_COMMON_HH

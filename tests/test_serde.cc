@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Wire-format round trips and malformed-input rejection.
+ *
+ * Every serializable protocol object must round-trip bit-exactly, and
+ * every malformed blob (truncated, bad magic, wrong version, hostile
+ * sizes, non-canonical residues) must throw SerializeError with a
+ * descriptive message — never crash or over-read. The truncation
+ * sweeps exercise every prefix length, which is what the IVE_SANITIZE
+ * CI configuration is for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "modmath/primes.hh"
+#include "pir/session.hh"
+
+using namespace ive;
+
+namespace {
+
+/** Smallest legal geometry: keeps exhaustive byte sweeps cheap. */
+PirParams
+tinyParams()
+{
+    PirParams p = PirParams::testSmall();
+    p.he.n = 256;
+    p.d0 = 4;
+    p.d = 1;
+    return p;
+}
+
+struct SerdeFixture
+{
+    SerdeFixture() : params(tinyParams()), ctx(params.he), rng(42) {}
+
+    PirParams params;
+    HeContext ctx;
+    Rng rng;
+};
+
+std::string
+throwMessage(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const SerializeError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+TEST(Serde, RnsPolyRoundTripBothDomains)
+{
+    SerdeFixture f;
+    for (Domain dom : {Domain::Coeff, Domain::Ntt}) {
+        RnsPoly poly = RnsPoly::uniform(f.ctx.ring(), f.rng, dom);
+        ByteWriter w;
+        saveRnsPoly(w, poly);
+        EXPECT_EQ(w.buffer().size(), 1 + f.ctx.ring().words() * 8);
+        ByteReader r(w.buffer());
+        RnsPoly back = loadRnsPoly(r, f.ctx.ring());
+        r.expectEnd();
+        EXPECT_EQ(back, poly);
+        EXPECT_EQ(back.domain(), dom);
+    }
+}
+
+TEST(Serde, RnsPolyRejectsBadDomainAndResidues)
+{
+    SerdeFixture f;
+    RnsPoly poly = RnsPoly::uniform(f.ctx.ring(), f.rng, Domain::Ntt);
+    ByteWriter w;
+    saveRnsPoly(w, poly);
+    std::vector<u8> bytes = w.take();
+
+    std::vector<u8> bad_domain = bytes;
+    bad_domain[0] = 7;
+    ByteReader r1(bad_domain);
+    EXPECT_THROW(loadRnsPoly(r1, f.ctx.ring()), SerializeError);
+
+    // Force residue 0 of prime 0 to q0 (out of canonical range).
+    std::vector<u8> bad_residue = bytes;
+    u64 q0 = f.ctx.ring().base.modulus(0).value();
+    for (int i = 0; i < 8; ++i)
+        bad_residue[1 + i] = static_cast<u8>(q0 >> (8 * i));
+    ByteReader r2(bad_residue);
+    std::string msg = throwMessage(
+        [&] { loadRnsPoly(r2, f.ctx.ring()); });
+    EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+}
+
+TEST(Serde, BfvCiphertextRoundTrip)
+{
+    SerdeFixture f;
+    SecretKey sk(f.ctx, f.rng);
+    std::vector<u64> plain(f.ctx.n());
+    for (auto &c : plain)
+        c = f.rng.uniform(f.ctx.plainModulus());
+    BfvCiphertext ct = encryptPlain(f.ctx, sk, f.rng, plain);
+
+    ByteWriter w;
+    saveBfvCiphertext(w, ct);
+    ByteReader r(w.buffer());
+    BfvCiphertext back = loadBfvCiphertext(r, f.ctx.ring());
+    r.expectEnd();
+    EXPECT_EQ(back.a, ct.a);
+    EXPECT_EQ(back.b, ct.b);
+    EXPECT_EQ(decrypt(f.ctx, sk, back), plain);
+}
+
+TEST(Serde, EvkKeyRoundTrip)
+{
+    SerdeFixture f;
+    SecretKey sk(f.ctx, f.rng);
+    EvkKey evk = genEvk(f.ctx, sk, f.rng, f.ctx.n() / 2 + 1);
+
+    ByteWriter w;
+    saveEvkKey(w, evk);
+    std::vector<u8> bytes = w.take();
+    ByteReader r(bytes);
+    EvkKey back = loadEvkKey(r, f.ctx);
+    r.expectEnd();
+    EXPECT_EQ(back.r, evk.r);
+    ASSERT_EQ(back.rows.size(), evk.rows.size());
+    for (size_t i = 0; i < evk.rows.size(); ++i) {
+        EXPECT_EQ(back.rows[i].a, evk.rows[i].a);
+        EXPECT_EQ(back.rows[i].b, evk.rows[i].b);
+    }
+
+    // Even rotations are invalid automorphisms.
+    std::vector<u8> bad = bytes;
+    bad[0] = 2;
+    for (int i = 1; i < 8; ++i)
+        bad[i] = 0;
+    ByteReader r2(bad);
+    EXPECT_THROW(loadEvkKey(r2, f.ctx), SerializeError);
+}
+
+TEST(Serde, RgswCiphertextRoundTrip)
+{
+    SerdeFixture f;
+    SecretKey sk(f.ctx, f.rng);
+    RgswCiphertext rgsw = encryptRgswConst(f.ctx, sk, f.rng, 1);
+
+    ByteWriter w;
+    saveRgswCiphertext(w, rgsw);
+    std::vector<u8> bytes = w.take();
+    ByteReader r(bytes);
+    RgswCiphertext back = loadRgswCiphertext(r, f.ctx);
+    r.expectEnd();
+    EXPECT_EQ(back.ell, rgsw.ell);
+    ASSERT_EQ(back.rows.size(), rgsw.rows.size());
+    for (size_t i = 0; i < rgsw.rows.size(); ++i) {
+        EXPECT_EQ(back.rows[i].a, rgsw.rows[i].a);
+        EXPECT_EQ(back.rows[i].b, rgsw.rows[i].b);
+    }
+
+    // An ell mismatching the context gadget must be rejected.
+    std::vector<u8> bad = bytes;
+    bad[0] = static_cast<u8>(rgsw.ell + 1);
+    ByteReader r2(bad);
+    EXPECT_THROW(loadRgswCiphertext(r2, f.ctx), SerializeError);
+}
+
+TEST(Serde, ParamsRoundTrip)
+{
+    PirParams p = tinyParams();
+    p.planes = 3;
+    std::vector<u8> blob = serializeParams(p);
+    PirParams back = deserializeParams(blob);
+    EXPECT_EQ(back.he.n, p.he.n);
+    EXPECT_EQ(back.he.primes, p.he.primes);
+    EXPECT_EQ(back.he.plainModulus, p.he.plainModulus);
+    EXPECT_EQ(back.he.logZKs, p.he.logZKs);
+    EXPECT_EQ(back.he.ellKs, p.he.ellKs);
+    EXPECT_EQ(back.he.logZRgsw, p.he.logZRgsw);
+    EXPECT_EQ(back.he.ellRgsw, p.he.ellRgsw);
+    EXPECT_EQ(back.d0, p.d0);
+    EXPECT_EQ(back.d, p.d);
+    EXPECT_EQ(back.planes, p.planes);
+    // Round-trip again: serialization must be canonical.
+    EXPECT_EQ(serializeParams(back), blob);
+}
+
+TEST(Serde, ParamsRoundTripWithExplicitPrimes)
+{
+    PirParams p = tinyParams();
+    p.he.primes = {kIvePrimes[0], kIvePrimes[1], kIvePrimes[2]};
+    std::vector<u8> blob = serializeParams(p);
+    EXPECT_EQ(deserializeParams(blob).he.primes, p.he.primes);
+}
+
+TEST(Serde, ParamsRejectsNonConstructibleConfigs)
+{
+    // Each of these would abort inside Modulus/RnsBase/NttTable/
+    // Gadget/HeContext construction; the decoder must throw instead.
+    auto reject = [](const PirParams &p, const char *what) {
+        EXPECT_THROW(deserializeParams(serializeParams(p)),
+                     SerializeError)
+            << what;
+    };
+
+    PirParams composite = tinyParams();
+    composite.he.primes = {kIvePrimes[0], 134250495}; // divisible by 3
+    reject(composite, "composite modulus");
+
+    PirParams non_ntt = tinyParams();
+    non_ntt.he.primes = {kIvePrimes[0], 1000003}; // prime, != 1 mod 2n
+    reject(non_ntt, "NTT-unfriendly prime");
+
+    PirParams dup = tinyParams();
+    dup.he.primes = {kIvePrimes[0], kIvePrimes[0]};
+    reject(dup, "duplicate prime");
+
+    PirParams no_room = tinyParams();
+    no_room.he.primes = {kIvePrimes[0], kIvePrimes[1]}; // |Q| = 54
+    no_room.he.plainModulus = u64{1} << 40; // needs > 60 bits
+    reject(no_room, "no noise room");
+
+    PirParams weak_gadget = tinyParams();
+    weak_gadget.he.logZKs = 2;
+    weak_gadget.he.ellKs = 2; // z^l = 2^4 << Q
+    reject(weak_gadget, "gadget does not cover Q");
+
+    PirParams wide_gadget = tinyParams();
+    wide_gadget.he.logZKs = 31; // Gadget asserts logZ <= 30
+    reject(wide_gadget, "gadget base too wide");
+
+    PirParams huge_db = tinyParams();
+    huge_db.he.n = 1024;
+    huge_db.d0 = 16;
+    huge_db.d = 40;
+    huge_db.planes = 1024; // 16 * 2^40 * 2^10 plaintexts
+    reject(huge_db, "database beyond wire cap");
+
+    // The exploit shape from review: entry count at a round power of
+    // two but a preprocessed footprint in the hundreds of TB.
+    PirParams wide_db = PirParams::functionalDefault();
+    wide_db.d0 = 2048;
+    wide_db.d = 21;
+    reject(wide_db, "database bytes beyond wire cap");
+}
+
+TEST(Serde, ParamsTruncationSweep)
+{
+    std::vector<u8> blob = serializeParams(tinyParams());
+    for (size_t len = 0; len < blob.size(); ++len) {
+        EXPECT_THROW(
+            deserializeParams(std::span(blob.data(), len)),
+            SerializeError)
+            << "prefix length " << len;
+    }
+}
+
+TEST(Serde, ParamsHeaderErrors)
+{
+    std::vector<u8> blob = serializeParams(tinyParams());
+
+    std::vector<u8> bad_magic = blob;
+    bad_magic[0] = 'X';
+    EXPECT_NE(throwMessage([&] { deserializeParams(bad_magic); })
+                  .find("magic"),
+              std::string::npos);
+
+    std::vector<u8> bad_version = blob;
+    bad_version[4] = kWireVersion + 1;
+    EXPECT_NE(throwMessage([&] { deserializeParams(bad_version); })
+                  .find("version"),
+              std::string::npos);
+
+    std::vector<u8> bad_kind = blob;
+    bad_kind[5] = static_cast<u8>(WireKind::Response);
+    EXPECT_NE(throwMessage([&] { deserializeParams(bad_kind); })
+                  .find("kind"),
+              std::string::npos);
+
+    std::vector<u8> trailing = blob;
+    trailing.push_back(0);
+    EXPECT_NE(throwMessage([&] { deserializeParams(trailing); })
+                  .find("trailing"),
+              std::string::npos);
+}
+
+TEST(Serde, ParamsHostileSizesThrow)
+{
+    std::vector<u8> blob = serializeParams(tinyParams());
+    // The primes count is the u64 at offset 6+8+8+4*4 = 38. A huge
+    // count must throw, not drive a giant allocation or over-read.
+    size_t off = 38;
+    std::vector<u8> huge = blob;
+    for (int i = 0; i < 8; ++i)
+        huge[off + i] = 0xff;
+    std::string msg =
+        throwMessage([&] { deserializeParams(huge); });
+    EXPECT_NE(msg.find("count"), std::string::npos) << msg;
+
+    // A count that passes the cap but exceeds the buffer also throws.
+    std::vector<u8> over = blob;
+    over[off] = 7;
+    EXPECT_THROW(deserializeParams(over), SerializeError);
+}
+
+TEST(Serde, ParamsRejectsInconsistentGeometry)
+{
+    PirParams p = tinyParams();
+    std::vector<u8> blob = serializeParams(p);
+    // d0 sits right after the primes: offset 38 + 8 + 8*k.
+    size_t off = 46 + 8 * p.he.primes.size();
+    std::vector<u8> bad = blob;
+    bad[off] = 3; // not a power of two
+    EXPECT_THROW(deserializeParams(bad), SerializeError);
+
+    // d too large for the ring (usedLeaves > n).
+    PirParams q = tinyParams();
+    q.d0 = 256; // 256 + d*8 > 256 for any d >= 1
+    q.d = 1;
+    EXPECT_THROW(deserializeParams(serializeParams(q)),
+                 SerializeError);
+}
+
+TEST(Serde, QueryRoundTripAndTruncationSweep)
+{
+    SerdeFixture f;
+    PirClient client(f.ctx, f.params, 7);
+    PirQuery q = client.makeQuery(5);
+    std::vector<u8> blob = serializeQuery(f.ctx, q);
+
+    PirQuery back = deserializeQuery(f.ctx, blob);
+    EXPECT_EQ(back.ct.a, q.ct.a);
+    EXPECT_EQ(back.ct.b, q.ct.b);
+    EXPECT_EQ(serializeQuery(f.ctx, back), blob);
+
+    for (size_t len = 0; len < blob.size(); len += 7) {
+        EXPECT_THROW(
+            deserializeQuery(f.ctx, std::span(blob.data(), len)),
+            SerializeError)
+            << "prefix length " << len;
+    }
+}
+
+TEST(Serde, ResponseRoundTrip)
+{
+    SerdeFixture f;
+    SecretKey sk(f.ctx, f.rng);
+    PirResponse resp;
+    for (int plane = 0; plane < 3; ++plane) {
+        std::vector<u64> plain(f.ctx.n(), 17 + plane);
+        resp.planes.push_back(encryptPlain(f.ctx, sk, f.rng, plain));
+    }
+    std::vector<u8> blob = serializeResponse(f.ctx, resp);
+    PirResponse back = deserializeResponse(f.ctx, blob);
+    ASSERT_EQ(back.planes.size(), 3u);
+    for (int plane = 0; plane < 3; ++plane) {
+        EXPECT_EQ(back.planes[plane].a, resp.planes[plane].a);
+        EXPECT_EQ(back.planes[plane].b, resp.planes[plane].b);
+    }
+    EXPECT_EQ(serializeResponse(f.ctx, back), blob);
+}
+
+TEST(Serde, ResponseHostilePlaneCountThrows)
+{
+    SerdeFixture f;
+    SecretKey sk(f.ctx, f.rng);
+    PirResponse resp;
+    resp.planes.push_back(
+        encryptPlain(f.ctx, sk, f.rng, std::vector<u64>(f.ctx.n(), 1)));
+    std::vector<u8> blob = serializeResponse(f.ctx, resp);
+
+    // Plane count is the u64 right after the 6-byte header.
+    std::vector<u8> huge = blob;
+    for (int i = 0; i < 8; ++i)
+        huge[6 + i] = 0xff;
+    EXPECT_THROW(deserializeResponse(f.ctx, huge), SerializeError);
+
+    std::vector<u8> zero = blob;
+    for (int i = 0; i < 8; ++i)
+        zero[6 + i] = 0;
+    EXPECT_THROW(deserializeResponse(f.ctx, zero), SerializeError);
+
+    std::vector<u8> two = blob;
+    two[6] = 2; // claims one more ciphertext than the buffer holds
+    EXPECT_THROW(deserializeResponse(f.ctx, two), SerializeError);
+}
+
+TEST(Serde, PublicKeysRoundTrip)
+{
+    SerdeFixture f;
+    PirClient client(f.ctx, f.params, 11);
+    PirPublicKeys keys = client.genPublicKeys();
+    std::vector<u8> blob = serializePublicKeys(f.ctx, keys);
+
+    PirPublicKeys back = deserializePublicKeys(f.ctx, blob);
+    ASSERT_EQ(back.evks.size(), keys.evks.size());
+    for (size_t i = 0; i < keys.evks.size(); ++i)
+        EXPECT_EQ(back.evks[i].r, keys.evks[i].r);
+    EXPECT_EQ(back.rgswOfSecret.ell, keys.rgswOfSecret.ell);
+    // Canonical: re-serialization is byte-identical.
+    EXPECT_EQ(serializePublicKeys(f.ctx, back), blob);
+}
+
+TEST(Serde, PublicKeysTruncationCoarseSweep)
+{
+    SerdeFixture f;
+    PirClient client(f.ctx, f.params, 11);
+    std::vector<u8> blob =
+        serializePublicKeys(f.ctx, client.genPublicKeys());
+    // The blob is ~750 KB; probe a coarse grid plus the first bytes.
+    for (size_t len = 0; len < 64 && len < blob.size(); ++len) {
+        EXPECT_THROW(deserializePublicKeys(
+                         f.ctx, std::span(blob.data(), len)),
+                     SerializeError);
+    }
+    for (size_t len = 0; len < blob.size(); len += blob.size() / 37) {
+        EXPECT_THROW(deserializePublicKeys(
+                         f.ctx, std::span(blob.data(), len)),
+                     SerializeError);
+    }
+}
+
+TEST(Serde, DeserializedQueryAnswersIdentically)
+{
+    // The wire format is lossless for the server pipeline: answering a
+    // deserialized query matches answering the original object.
+    SerdeFixture f;
+    PirClient client(f.ctx, f.params, 3);
+    Database db = Database::random(f.ctx, f.params, 4);
+    PirServer server(f.ctx, f.params, &db, client.genPublicKeys());
+
+    PirQuery q = client.makeQuery(6);
+    PirQuery q2 =
+        deserializeQuery(f.ctx, serializeQuery(f.ctx, q));
+    BfvCiphertext r1 = server.process(q);
+    BfvCiphertext r2 = server.process(q2);
+    EXPECT_EQ(r1.a, r2.a);
+    EXPECT_EQ(r1.b, r2.b);
+    EXPECT_EQ(client.decode(r1), db.entryCoeffs(6));
+}
