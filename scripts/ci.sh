@@ -49,7 +49,7 @@ if [ "$RUN_TSAN" -eq 1 ]; then
           -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j "$JOBS" --target \
           test_thread_pool test_parallel_server test_system \
-          test_session test_golden
+          test_session test_shard test_golden
     ctest --test-dir build-tsan --output-on-failure -L thread
 fi
 

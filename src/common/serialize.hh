@@ -35,7 +35,7 @@ class SerializeError : public std::runtime_error
 };
 
 /** Current wire-format version; bump on any layout change. */
-inline constexpr u8 kWireVersion = 1;
+inline constexpr u8 kWireVersion = 2;
 
 /** Magic prefix of every top-level blob. */
 inline constexpr u8 kWireMagic[4] = {'I', 'V', 'E', 'W'};
@@ -47,6 +47,7 @@ enum class WireKind : u8
     PublicKeys = 2,
     Query = 3,
     Response = 4,
+    PartialResponse = 5,
 };
 
 /** Appends little-endian fields to a growable byte buffer. */

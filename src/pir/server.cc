@@ -10,13 +10,35 @@ PirServer::PirServer(const HeContext &ctx, const PirParams &params,
     : ctx_(ctx), params_(params), db_(db), keys_(std::move(keys))
 {
     params_.validate();
-    ive_assert(db_ != nullptr);
+    if (db_ != nullptr) {
+        // A slice must cover whole columns and sit on a tournament
+        // boundary, or its local folds would pair entries the
+        // monolithic ColTor never pairs.
+        ive_assert(db_->numEntries() > 0 &&
+                   db_->numEntries() % params_.d0 == 0);
+        u64 cols = db_->numEntries() / params_.d0;
+        ive_assert(isPow2(cols) && cols <= (u64{1} << params_.d));
+        ive_assert(db_->firstEntry() % (cols * params_.d0) == 0);
+    }
     ive_assert(static_cast<int>(keys_.evks.size()) >=
                params_.expansionDepth());
     for (int t = 0; t < params_.expansionDepth(); ++t) {
         monomials_.push_back(RnsPoly::monomialNtt(
             ctx_.ring(), -static_cast<i64>(u64{1} << t)));
     }
+}
+
+u64
+PirServer::localColumns() const
+{
+    ive_assert(db_ != nullptr, "fold-only server has no database");
+    return db_->numEntries() / params_.d0;
+}
+
+int
+PirServer::localLevels() const
+{
+    return log2Exact(localColumns());
 }
 
 std::vector<BfvCiphertext>
@@ -82,17 +104,25 @@ PirServer::expandQuery(const PirQuery &query) const
 std::vector<RgswCiphertext>
 PirServer::buildSelectors(const std::vector<BfvCiphertext> &leaves) const
 {
+    return buildSelectors(leaves, 0, params_.d);
+}
+
+std::vector<RgswCiphertext>
+PirServer::buildSelectors(const std::vector<BfvCiphertext> &leaves,
+                          int from, int to) const
+{
+    ive_assert(from >= 0 && from <= to && to <= params_.d);
     const Gadget &g = ctx_.gadgetRgsw();
     int ell = g.ell();
 
     std::vector<RgswCiphertext> selectors(params_.d);
-    for (int t = 0; t < params_.d; ++t) {
+    for (int t = from; t < to; ++t) {
         selectors[t].ell = ell;
         selectors[t].rows.resize(2 * ell);
     }
     // Each (dimension, gadget-row) pair is independent.
-    parallelFor(0, static_cast<u64>(params_.d) * ell, [&](u64 i) {
-        int t = static_cast<int>(i / ell);
+    parallelFor(0, static_cast<u64>(to - from) * ell, [&](u64 i) {
+        int t = from + static_cast<int>(i / ell);
         int k = static_cast<int>(i % ell);
         RgswCiphertext &sel = selectors[t];
         const BfvCiphertext &leaf =
@@ -113,7 +143,8 @@ PirServer::rowSel(const std::vector<BfvCiphertext> &leaves,
                   int plane) const
 {
     ive_assert(leaves.size() >= params_.d0);
-    u64 cols = u64{1} << params_.d;
+    u64 cols = localColumns();
+    u64 first = db_->firstEntry();
 
     // Columns are independent; within one column the accumulation
     // order is fixed, so the output is identical at any thread count.
@@ -123,7 +154,8 @@ PirServer::rowSel(const std::vector<BfvCiphertext> &leaves,
         acc.a = RnsPoly(ctx_.ring(), Domain::Ntt);
         acc.b = RnsPoly(ctx_.ring(), Domain::Ntt);
         for (u64 i = 0; i < params_.d0; ++i) {
-            plainMulAcc(ctx_, acc, db_->entry(r * params_.d0 + i, plane),
+            plainMulAcc(ctx_, acc,
+                        db_->entry(first + r * params_.d0 + i, plane),
                         leaves[i]);
         }
         counters_.plainMulAccs.fetch_add(params_.d0,
@@ -150,19 +182,31 @@ BfvCiphertext
 PirServer::colTor(std::vector<BfvCiphertext> entries,
                   const std::vector<RgswCiphertext> &sel) const
 {
-    ive_assert(entries.size() == (u64{1} << params_.d));
-    ive_assert(static_cast<int>(sel.size()) == params_.d);
+    return foldTournament(std::move(entries), sel, 0);
+}
+
+BfvCiphertext
+PirServer::foldTournament(std::vector<BfvCiphertext> entries,
+                          const std::vector<RgswCiphertext> &sel,
+                          int sel_offset) const
+{
+    ive_assert(isPow2(entries.size()));
+    int levels = log2Exact(entries.size());
+    ive_assert(sel_offset >= 0 &&
+               sel_offset + levels <= static_cast<int>(sel.size()));
 
     // In-place tournament, paper Fig. 7 (ColTorBFS): at depth t the
-    // stride is s = 2^t and e[2sj] <- fold(e[2sj], e[2sj + s]).
-    for (int t = 0; t < params_.d; ++t) {
+    // stride is s = 2^t and e[2sj] <- fold(e[2sj], e[2sj + s]). With a
+    // selector offset this is the tail of the monolithic tournament:
+    // entry j stands for column j * 2^sel_offset's running partial.
+    for (int t = 0; t < levels; ++t) {
         u64 s = u64{1} << t;
-        u64 num = u64{1} << (params_.d - t - 1);
+        u64 num = u64{1} << (levels - t - 1);
         // Folds within one depth touch disjoint entry pairs.
         parallelFor(0, num, [&](u64 j) {
             entries[2 * s * j] = foldPair(entries[2 * s * j],
                                           entries[2 * s * j + s],
-                                          sel[t]);
+                                          sel[sel_offset + t]);
         });
     }
     return entries[0];
@@ -187,17 +231,37 @@ PirServer::colTorScheduled(std::vector<BfvCiphertext> entries,
 BfvCiphertext
 PirServer::process(const PirQuery &query, int plane) const
 {
-    std::vector<BfvCiphertext> leaves = expandQuery(query);
-    std::vector<RgswCiphertext> selectors = buildSelectors(leaves);
-    std::vector<BfvCiphertext> entries = rowSel(leaves, plane);
-    return colTor(std::move(entries), selectors);
+    ive_assert(localColumns() == (u64{1} << params_.d),
+               "process() needs the full database; shards use "
+               "processPartial()");
+    return processPartial(query, plane);
 }
 
 std::vector<BfvCiphertext>
 PirServer::processAllPlanes(const PirQuery &query) const
 {
+    ive_assert(localColumns() == (u64{1} << params_.d),
+               "processAllPlanes() needs the full database; shards use "
+               "processAllPlanesPartial()");
+    return processAllPlanesPartial(query);
+}
+
+BfvCiphertext
+PirServer::processPartial(const PirQuery &query, int plane) const
+{
     std::vector<BfvCiphertext> leaves = expandQuery(query);
-    std::vector<RgswCiphertext> selectors = buildSelectors(leaves);
+    std::vector<RgswCiphertext> selectors =
+        buildSelectors(leaves, 0, localLevels());
+    std::vector<BfvCiphertext> entries = rowSel(leaves, plane);
+    return colTor(std::move(entries), selectors);
+}
+
+std::vector<BfvCiphertext>
+PirServer::processAllPlanesPartial(const PirQuery &query) const
+{
+    std::vector<BfvCiphertext> leaves = expandQuery(query);
+    std::vector<RgswCiphertext> selectors =
+        buildSelectors(leaves, 0, localLevels());
     // Planes share the expansion but are otherwise independent.
     std::vector<BfvCiphertext> out(params_.planes);
     parallelFor(0, static_cast<u64>(params_.planes), [&](u64 plane) {

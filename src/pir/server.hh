@@ -14,6 +14,17 @@
  *      NTT-form polynomials) and the D0 expanded ciphertexts.
  *   4. ColTor: a binary tournament of external products halves the
  *      2^d candidates per dimension; error grows only additively.
+ *
+ * Sharded serving (paper SV): the database may be a record-axis slice
+ * covering a power-of-two, boundary-aligned run of the 2^d ColTor
+ * columns. processPartial() then runs RowSel plus only the local
+ * localLevels() tournament levels and returns the unfused partial
+ * ciphertext; the coordinator finishes with foldTournament() over the
+ * gathered partials using the remaining selectors. Because every fold
+ * the single server would perform happens once, on the same operands,
+ * in the same order, the sharded result is byte-identical to the
+ * monolithic one. A server built with db == nullptr is fold-only: it
+ * expands queries and folds partials but cannot run RowSel.
  */
 
 #ifndef IVE_PIR_SERVER_HH
@@ -27,17 +38,45 @@
 
 namespace ive {
 
+/** Plain cumulative totals: a copyable view of ServerCounters that
+ *  the shard coordinator sums across engines (shard/coordinator.hh). */
+struct ServerCountersSnapshot
+{
+    u64 subsOps = 0;
+    u64 externalProducts = 0;
+    u64 plainMulAccs = 0;
+
+    ServerCountersSnapshot &
+    operator+=(const ServerCountersSnapshot &o)
+    {
+        subsOps += o.subsOps;
+        externalProducts += o.externalProducts;
+        plainMulAccs += o.plainMulAccs;
+        return *this;
+    }
+};
+
 /**
  * Mult/op tallies the server accumulates (validates model/complexity).
  * Atomic because independent queries / planes / RowSel columns run
  * concurrently on the thread pool; relaxed increments keep the exact
- * totals the complexity model checks against.
+ * totals the complexity model checks against. Counters are cumulative
+ * over the server's lifetime; reset() is explicit, never implicit per
+ * call.
  */
 struct ServerCounters
 {
     std::atomic<u64> subsOps{0};
     std::atomic<u64> externalProducts{0};
     std::atomic<u64> plainMulAccs{0};
+
+    ServerCountersSnapshot
+    snapshot() const
+    {
+        return {subsOps.load(std::memory_order_relaxed),
+                externalProducts.load(std::memory_order_relaxed),
+                plainMulAccs.load(std::memory_order_relaxed)};
+    }
 
     void
     reset()
@@ -51,6 +90,11 @@ struct ServerCounters
 class PirServer
 {
   public:
+    /**
+     * db may cover the full store, a column-aligned power-of-two slice
+     * of it (shard serving), or be nullptr for a fold-only server that
+     * never touches RowSel (the coordinator's finishing engine).
+     */
     PirServer(const HeContext &ctx, const PirParams &params,
               const Database *db, PirPublicKeys keys);
 
@@ -61,17 +105,45 @@ class PirServer
      */
     std::vector<BfvCiphertext> expandQuery(const PirQuery &query) const;
 
-    /** Assembles the d RGSW selectors from the expanded leaves. */
+    /** Assembles all d RGSW selectors from the expanded leaves. */
     std::vector<RgswCiphertext>
     buildSelectors(const std::vector<BfvCiphertext> &leaves) const;
 
-    /** RowSel over one plane: 2^d accumulated ciphertexts. */
+    /**
+     * Assembles only the selectors for tournament levels [from, to).
+     * The result is still indexed [0, d) so it plugs straight into
+     * colTor/foldTournament; unbuilt slots stay empty. Shards build
+     * just their localLevels() and the coordinator just the final
+     * log2(num_shards), saving the broadcast's duplicated external
+     * products.
+     */
+    std::vector<RgswCiphertext>
+    buildSelectors(const std::vector<BfvCiphertext> &leaves, int from,
+                   int to) const;
+
+    /**
+     * RowSel over one plane: one accumulated ciphertext per local
+     * database column (2^d for a full database, fewer for a slice).
+     */
     std::vector<BfvCiphertext>
     rowSel(const std::vector<BfvCiphertext> &leaves, int plane = 0) const;
 
-    /** ColTor tournament in the default (BFS) order. */
+    /**
+     * ColTor tournament in the default (BFS) order over a power-of-two
+     * entry run, folding the leading log2(entries.size()) dimensions.
+     */
     BfvCiphertext colTor(std::vector<BfvCiphertext> entries,
                          const std::vector<RgswCiphertext> &sel) const;
+
+    /**
+     * BFS tournament over 2^L entries using sel[sel_offset + t] at
+     * depth t: the final fold the coordinator runs over gathered shard
+     * partials (sel_offset = d - log2(num_shards)).
+     */
+    BfvCiphertext
+    foldTournament(std::vector<BfvCiphertext> entries,
+                   const std::vector<RgswCiphertext> &sel,
+                   int sel_offset) const;
 
     /** ColTor executed in an arbitrary valid schedule order. */
     BfvCiphertext
@@ -79,12 +151,31 @@ class PirServer
                     const std::vector<RgswCiphertext> &sel,
                     const std::vector<TreeOp> &schedule) const;
 
-    /** Full pipeline for one plane. */
+    /** Full pipeline for one plane (requires the full database). */
     BfvCiphertext process(const PirQuery &query, int plane = 0) const;
 
     /** Full pipeline for all planes (one expansion, shared). */
     std::vector<BfvCiphertext> processAllPlanes(const PirQuery &query)
         const;
+
+    /**
+     * Partial pipeline for one plane: RowSel over the local slice plus
+     * the localLevels() leading tournament levels. For a full database
+     * this is the complete answer; for a shard it is the unfused
+     * partial the coordinator folds.
+     */
+    BfvCiphertext processPartial(const PirQuery &query, int plane = 0)
+        const;
+
+    /** Partial pipeline for all planes (one expansion, shared). */
+    std::vector<BfvCiphertext>
+    processAllPlanesPartial(const PirQuery &query) const;
+
+    /** ColTor columns the local database slice covers. */
+    u64 localColumns() const;
+
+    /** Tournament levels the local slice folds: log2(localColumns). */
+    int localLevels() const;
 
     const ServerCounters &counters() const { return counters_; }
     void resetCounters() const { counters_.reset(); }

@@ -46,37 +46,88 @@ ClientSession::decodeResponse(std::span<const u8> response_blob) const
     return out;
 }
 
+namespace {
+
+/**
+ * Record range shard `shard` of `num_shards` covers: whole ColTor
+ * columns on a tournament boundary, so the shard's local folds match
+ * the monolithic schedule exactly (see pir/server.hh).
+ */
+std::pair<u64, u64>
+shardRecordRange(const PirParams &params, u32 shard, u32 num_shards)
+{
+    u64 cols = u64{1} << params.d;
+    if (num_shards < 1 || !isPow2(num_shards) ||
+        u64{num_shards} > cols)
+        throw std::invalid_argument(strprintf(
+            "shard count %u must be a power of two in [1, 2^d = %llu]",
+            num_shards, static_cast<unsigned long long>(cols)));
+    if (shard >= num_shards)
+        throw std::invalid_argument(
+            strprintf("shard index %u out of range for %u shards",
+                      shard, num_shards));
+    u64 cols_per = cols / num_shards;
+    return {u64{shard} * cols_per * params.d0, cols_per * params.d0};
+}
+
+} // namespace
+
 ServerSession::ServerSession(std::span<const u8> params_blob)
     : ServerSession(deserializeParams(params_blob))
 {
 }
 
 ServerSession::ServerSession(const PirParams &params)
-    : params_(params), ctx_(params_.he), db_(ctx_, params_)
+    : ServerSession(params, 0, 1)
 {
 }
 
-void
-ServerSession::ingestKeys(std::span<const u8> key_blob)
+ServerSession::ServerSession(std::span<const u8> params_blob, u32 shard,
+                             u32 num_shards)
+    : ServerSession(deserializeParams(params_blob), shard, num_shards)
 {
-    PirPublicKeys keys = deserializePublicKeys(ctx_, key_blob);
+}
+
+ServerSession::ServerSession(const PirParams &params, u32 shard,
+                             u32 num_shards)
+    : params_(params), ctx_(params_.he), shard_(shard),
+      numShards_(num_shards),
+      db_(ctx_, params_,
+          shardRecordRange(params_, shard, num_shards).first,
+          shardRecordRange(params_, shard, num_shards).second)
+{
+}
+
+PirPublicKeys
+deserializeCompatibleKeys(const HeContext &ctx, const PirParams &params,
+                          std::span<const u8> key_blob)
+{
+    PirPublicKeys keys = deserializePublicKeys(ctx, key_blob);
     // Protocol-level compatibility: the server indexes evks[t] by
     // expansion-tree level and assumes the rotation schedule, so a
     // structurally valid blob from mismatched params must be rejected
     // here (PirServer's constructor would abort on it).
-    int depth = params_.expansionDepth();
+    int depth = params.expansionDepth();
     if (keys.evks.size() < static_cast<u64>(depth))
         throw SerializeError(strprintf(
             "key blob has %zu evks, params need %d expansion levels",
             keys.evks.size(), depth));
     for (int t = 0; t < depth; ++t) {
-        u64 want = ctx_.n() / (u64{1} << t) + 1;
+        u64 want = ctx.n() / (u64{1} << t) + 1;
         if (keys.evks[t].r != want)
             throw SerializeError(strprintf(
                 "evk %d rotates by %llu, expansion level needs %llu",
                 t, static_cast<unsigned long long>(keys.evks[t].r),
                 static_cast<unsigned long long>(want)));
     }
+    return keys;
+}
+
+void
+ServerSession::ingestKeys(std::span<const u8> key_blob)
+{
+    PirPublicKeys keys =
+        deserializeCompatibleKeys(ctx_, params_, key_blob);
     server_ = std::make_unique<PirServer>(ctx_, params_, &db_,
                                           std::move(keys));
 }
@@ -90,26 +141,51 @@ ServerSession::server() const
     return *server_;
 }
 
+void
+ServerSession::requireFullDatabase() const
+{
+    if (numShards_ != 1)
+        throw std::logic_error(strprintf(
+            "ServerSession: shard %u/%u holds a record slice; only "
+            "answerPartial() is available",
+            shard_, numShards_));
+}
+
 std::vector<u8>
 ServerSession::answer(std::span<const u8> query_blob) const
 {
+    requireFullDatabase();
     PirQuery q = deserializeQuery(ctx_, query_blob);
     PirResponse resp{server().processAllPlanes(q)};
+    queriesAnswered_.fetch_add(1, std::memory_order_relaxed);
     return serializeResponse(ctx_, resp);
 }
 
 std::vector<u8>
 ServerSession::answerPlane(std::span<const u8> query_blob, int plane) const
 {
+    requireFullDatabase();
     PirQuery q = deserializeQuery(ctx_, query_blob);
     PirResponse resp{{server().process(q, plane)}};
+    queriesAnswered_.fetch_add(1, std::memory_order_relaxed);
     return serializeResponse(ctx_, resp);
+}
+
+std::vector<u8>
+ServerSession::answerPartial(std::span<const u8> query_blob) const
+{
+    PirQuery q = deserializeQuery(ctx_, query_blob);
+    PirPartialResponse partial{shard_, numShards_,
+                               server().processAllPlanesPartial(q)};
+    queriesAnswered_.fetch_add(1, std::memory_order_relaxed);
+    return serializePartialResponse(ctx_, partial);
 }
 
 std::vector<std::vector<u8>>
 ServerSession::answerBatch(
     const std::vector<std::vector<u8>> &query_blobs) const
 {
+    requireFullDatabase();
     // Deserialize up front so a malformed blob throws on the calling
     // thread, then answer in parallel (queries are independent).
     std::vector<PirQuery> queries;
@@ -123,6 +199,8 @@ ServerSession::answerBatch(
         PirResponse resp{srv.processAllPlanes(queries[i])};
         responses[i] = serializeResponse(ctx_, resp);
     });
+    queriesAnswered_.fetch_add(queries.size(),
+                               std::memory_order_relaxed);
     return responses;
 }
 

@@ -27,6 +27,16 @@
 
 namespace ive {
 
+/**
+ * Deserializes a public-key blob and validates it against the params'
+ * expansion schedule: a structurally valid blob from mismatched params
+ * must throw SerializeError here, not abort inside PirServer. Shared
+ * by ServerSession::ingestKeys and the shard coordinator's fold engine.
+ */
+PirPublicKeys deserializeCompatibleKeys(const HeContext &ctx,
+                                        const PirParams &params,
+                                        std::span<const u8> key_blob);
+
 class ClientSession
 {
   public:
@@ -65,8 +75,22 @@ class ServerSession
     explicit ServerSession(std::span<const u8> params_blob);
     explicit ServerSession(const PirParams &params);
 
+    /**
+     * Builds a shard session holding record slice `shard` of
+     * `num_shards` (power of two, at most 2^d so every shard covers
+     * whole ColTor columns). answer() is unavailable on a shard with
+     * num_shards > 1; use answerPartial() and let the coordinator
+     * finish the fold (shard/coordinator.hh).
+     */
+    ServerSession(std::span<const u8> params_blob, u32 shard,
+                  u32 num_shards);
+    ServerSession(const PirParams &params, u32 shard, u32 num_shards);
+
     const PirParams &params() const { return params_; }
     const HeContext &context() const { return ctx_; }
+
+    u32 shard() const { return shard_; }
+    u32 numShards() const { return numShards_; }
 
     /** The (plaintext) database; fill before answering queries. */
     Database &database() { return db_; }
@@ -82,6 +106,13 @@ class ServerSession
                                 int plane) const;
 
     /**
+     * Answers one query blob with this shard's PartialResponse blob:
+     * the slice-local RowSel + ColTor partial per plane, for the
+     * coordinator's final tournament fold.
+     */
+    std::vector<u8> answerPartial(std::span<const u8> query_blob) const;
+
+    /**
      * Answers a batch of query blobs in parallel on the global thread
      * pool (each response carries all planes).
      */
@@ -91,13 +122,24 @@ class ServerSession
     /** Pipeline op counters of the underlying server (keys required). */
     const ServerCounters &counters() const;
 
+    /** Cumulative queries answered over the session's lifetime. */
+    u64
+    queriesAnswered() const
+    {
+        return queriesAnswered_.load(std::memory_order_relaxed);
+    }
+
   private:
     const PirServer &server() const;
+    void requireFullDatabase() const;
 
     PirParams params_;
     HeContext ctx_;
+    u32 shard_ = 0;
+    u32 numShards_ = 1;
     Database db_;
     std::unique_ptr<PirServer> server_;
+    mutable std::atomic<u64> queriesAnswered_{0};
 };
 
 } // namespace ive

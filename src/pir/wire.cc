@@ -16,6 +16,8 @@ constexpr u64 kMaxRingN = u64{1} << 20;
 constexpr u64 kMaxPrimes = 8;
 /** Gadget digit counts beyond this make no sense for u128 moduli. */
 constexpr u64 kMaxEll = 64;
+/** Widest shard fan-out a PartialResponse may claim (2^16 systems). */
+constexpr u64 kMaxShards = u64{1} << 16;
 /**
  * Cap on the preprocessed database footprint (entries * planes * n *
  * k * 8 bytes) a params blob may imply: ServerSession materializes the
@@ -246,6 +248,49 @@ deserializeResponse(const HeContext &ctx, std::span<const u8> blob)
         resp.planes.push_back(loadBfvCiphertext(r, ctx.ring()));
     r.expectEnd();
     return resp;
+}
+
+std::vector<u8>
+serializePartialResponse(const HeContext &ctx,
+                         const PirPartialResponse &partial)
+{
+    (void)ctx;
+    ByteWriter w;
+    w.writeHeader(WireKind::PartialResponse);
+    w.writeU32(partial.shard);
+    w.writeU32(partial.numShards);
+    w.writeU64(partial.planes.size());
+    for (const BfvCiphertext &ct : partial.planes)
+        saveBfvCiphertext(w, ct);
+    return w.take();
+}
+
+PirPartialResponse
+deserializePartialResponse(const HeContext &ctx,
+                           std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    r.readHeader(WireKind::PartialResponse);
+    PirPartialResponse partial;
+    partial.shard = r.readU32();
+    partial.numShards = r.readU32();
+    // The tournament fold needs a power-of-two fan-out; anything else
+    // can only be corruption or a cross-deployment mixup.
+    checkRange(r,
+               isPow2(partial.numShards) && partial.numShards <= kMaxShards,
+               "shard count", partial.numShards);
+    if (partial.shard >= partial.numShards)
+        r.fail(strprintf("shard index %u out of range for %u shards",
+                         partial.shard, partial.numShards));
+    u64 planes = r.readCount(u64{1} << 20,
+                             bfvCiphertextWireBytes(ctx.ring()),
+                             "partial-response plane");
+    if (planes == 0)
+        r.fail("partial response has zero planes");
+    for (u64 i = 0; i < planes; ++i)
+        partial.planes.push_back(loadBfvCiphertext(r, ctx.ring()));
+    r.expectEnd();
+    return partial;
 }
 
 } // namespace ive

@@ -2,13 +2,16 @@
  * @file
  * Top-level wire blobs for the PIR protocol.
  *
- * Four framed blob kinds cross the client/server boundary (compare
+ * Five framed blob kinds cross the client/server boundary (compare
  * SealPIR's serialized Galois keys and query/reply strings):
  *
- *   Params     - the negotiated parameter set (no secrets)
- *   PublicKeys - per-client expansion evks + RGSW(s), uploaded once
- *   Query      - one packed query ciphertext
- *   Response   - one BfvCiphertext per plane of the addressed record
+ *   Params          - the negotiated parameter set (no secrets)
+ *   PublicKeys      - per-client expansion evks + RGSW(s), uploaded once
+ *   Query           - one packed query ciphertext
+ *   Response        - one BfvCiphertext per plane of the addressed record
+ *   PartialResponse - one shard's unfused partial ciphertext per plane,
+ *                     gathered by the shard coordinator for the final
+ *                     tournament fold (paper SV record-level scale-out)
  *
  * Each blob is magic "IVEW" + version + kind, then the object fields
  * (see README "Wire format" for the exact field order). Deserializers
@@ -29,6 +32,19 @@ struct PirResponse
     std::vector<BfvCiphertext> planes;
 };
 
+/**
+ * One shard's partial answer: the slice-local ColTor result per plane,
+ * still awaiting the final log2(numShards) tournament levels on the
+ * coordinator. shard/numShards identify the slice so the coordinator
+ * can order the partials and reject cross-deployment mixups.
+ */
+struct PirPartialResponse
+{
+    u32 shard = 0;
+    u32 numShards = 1;
+    std::vector<BfvCiphertext> planes;
+};
+
 std::vector<u8> serializeParams(const PirParams &params);
 PirParams deserializeParams(std::span<const u8> blob);
 
@@ -46,6 +62,13 @@ std::vector<u8> serializeResponse(const HeContext &ctx,
                                   const PirResponse &response);
 PirResponse deserializeResponse(const HeContext &ctx,
                                 std::span<const u8> blob);
+
+std::vector<u8>
+serializePartialResponse(const HeContext &ctx,
+                         const PirPartialResponse &partial);
+PirPartialResponse
+deserializePartialResponse(const HeContext &ctx,
+                           std::span<const u8> blob);
 
 } // namespace ive
 

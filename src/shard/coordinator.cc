@@ -1,0 +1,187 @@
+#include "shard/coordinator.hh"
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace ive {
+
+ShardCoordinator::ShardCoordinator(std::span<const u8> params_blob,
+                                   u32 num_shards)
+    : ShardCoordinator(deserializeParams(params_blob), num_shards)
+{
+}
+
+ShardCoordinator::ShardCoordinator(const PirParams &params,
+                                   u32 num_shards)
+    : params_(params), ctx_(params_.he)
+{
+    // The shard session constructor validates the topology (power of
+    // two, at most 2^d) and throws std::invalid_argument otherwise.
+    shards_.reserve(num_shards);
+    for (u32 s = 0; s < num_shards; ++s)
+        shards_.push_back(
+            std::make_unique<ShardServer>(params_, s, num_shards));
+}
+
+ShardServer &
+ShardCoordinator::shard(u32 i)
+{
+    ive_assert(i < shards_.size());
+    return *shards_[i];
+}
+
+void
+ShardCoordinator::fillDatabase(const Database::Generator &gen)
+{
+    // Shards hold disjoint slices; fill them concurrently. The
+    // generator receives global record ids, so the content is the same
+    // one big Database::fill would produce.
+    parallelFor(0, shards_.size(),
+                [&](u64 s) { shards_[s]->database().fill(gen); });
+}
+
+void
+ShardCoordinator::ingestKeys(std::span<const u8> key_blob)
+{
+    for (auto &shard : shards_)
+        shard->ingestKeys(key_blob);
+    // The finishing engine holds no database slice: it only expands
+    // queries into selectors and runs the last tournament levels.
+    foldServer_ = std::make_unique<PirServer>(
+        ctx_, params_,
+        /*db=*/nullptr,
+        deserializeCompatibleKeys(ctx_, params_, key_blob));
+}
+
+std::vector<u8>
+ShardCoordinator::answer(std::span<const u8> query_blob)
+{
+    return answerOne(query_blob);
+}
+
+std::vector<u8>
+ShardCoordinator::answerOne(std::span<const u8> query_blob)
+{
+    // Parse once up front: a malformed query must reach no shard.
+    PirQuery query = deserializeQuery(ctx_, query_blob);
+
+    // Broadcast to EVERY shard: a selective send would leak which
+    // slice holds the requested record. Shards are independent; fan
+    // out on the pool (their internal parallelFor nests inline).
+    std::vector<std::vector<u8>> partials(shards_.size());
+    parallelFor(0, shards_.size(), [&](u64 s) {
+        partials[s] = shards_[s]->answerPartial(query_blob);
+    });
+    broadcastBytes_.fetch_add(query_blob.size() * shards_.size(),
+                              std::memory_order_relaxed);
+    return finishFold(query, partials);
+}
+
+std::vector<u8>
+ShardCoordinator::foldPartials(
+    std::span<const u8> query_blob,
+    const std::vector<std::vector<u8>> &partial_blobs)
+{
+    PirQuery query = deserializeQuery(ctx_, query_blob);
+    return finishFold(query, partial_blobs);
+}
+
+std::vector<u8>
+ShardCoordinator::finishFold(
+    const PirQuery &query,
+    const std::vector<std::vector<u8>> &partial_blobs)
+{
+    if (!foldServer_)
+        throw std::logic_error(
+            "ShardCoordinator: no client keys ingested yet");
+    u32 n = numShards();
+    if (partial_blobs.size() != n)
+        throw SerializeError(strprintf(
+            "gathered %zu partials, deployment has %u shards",
+            partial_blobs.size(), n));
+
+    // Decode and order by shard index; the set must be complete (every
+    // shard exactly once) and agree on the topology and plane count.
+    std::vector<PirPartialResponse> partials(n);
+    std::vector<bool> seen(n, false);
+    u64 gather_bytes = 0;
+    for (const auto &blob : partial_blobs) {
+        PirPartialResponse p = deserializePartialResponse(ctx_, blob);
+        if (p.numShards != n)
+            throw SerializeError(strprintf(
+                "partial claims %u shards, deployment has %u",
+                p.numShards, n));
+        if (p.planes.size() != static_cast<u64>(params_.planes))
+            throw SerializeError(strprintf(
+                "partial from shard %u has %zu planes, params say %d",
+                p.shard, p.planes.size(), params_.planes));
+        u32 idx = p.shard;
+        if (seen[idx])
+            throw SerializeError(
+                strprintf("duplicate partial for shard %u", idx));
+        seen[idx] = true;
+        gather_bytes += blob.size();
+        partials[idx] = std::move(p);
+    }
+    gatherBytes_.fetch_add(gather_bytes, std::memory_order_relaxed);
+
+    PirResponse resp;
+    if (n == 1) {
+        // Degenerate deployment: the single partial is already the
+        // complete answer; re-frame it as a Response blob.
+        resp.planes = std::move(partials[0].planes);
+    } else {
+        // Final log2(n) tournament levels: the same folds, on the same
+        // operands, in the same order as the tail of the monolithic
+        // ColTor, so the result is byte-identical to it.
+        const PirServer &srv = *foldServer_;
+        int sel_offset = params_.d - log2Exact(n);
+        std::vector<BfvCiphertext> leaves = srv.expandQuery(query);
+        // Only the final levels' selectors are needed here.
+        std::vector<RgswCiphertext> selectors =
+            srv.buildSelectors(leaves, sel_offset, params_.d);
+
+        resp.planes.resize(params_.planes);
+        parallelFor(0, static_cast<u64>(params_.planes), [&](u64 pl) {
+            std::vector<BfvCiphertext> entries(n);
+            for (u32 s = 0; s < n; ++s)
+                entries[s] = partials[s].planes[pl];
+            resp.planes[pl] = srv.foldTournament(std::move(entries),
+                                                 selectors, sel_offset);
+        });
+    }
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    return serializeResponse(ctx_, resp);
+}
+
+std::vector<std::vector<u8>>
+ShardCoordinator::answerBatch(
+    const std::vector<std::vector<u8>> &query_blobs)
+{
+    // Validate every blob on the calling thread before any work.
+    for (const auto &blob : query_blobs)
+        (void)deserializeQuery(ctx_, blob);
+
+    std::vector<std::vector<u8>> responses(query_blobs.size());
+    parallelFor(0, query_blobs.size(), [&](u64 i) {
+        responses[i] = answerOne(query_blobs[i]);
+    });
+    return responses;
+}
+
+ShardCountersSummary
+ShardCoordinator::summary() const
+{
+    ShardCountersSummary s;
+    s.numShards = numShards();
+    s.queries = queries_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_)
+        s.shardOps += shard->opCounters();
+    if (foldServer_)
+        s.foldOps = foldServer_->counters().snapshot();
+    s.broadcastBytes = broadcastBytes_.load(std::memory_order_relaxed);
+    s.gatherBytes = gatherBytes_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace ive

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Partial-fold coordinator for sharded PIR serving (paper SV).
+ *
+ * The database is partitioned along the record axis into num_shards
+ * column-aligned slices, one ShardServer each. Per query the
+ * coordinator:
+ *
+ *   1. broadcasts the query blob to EVERY shard — a selective send
+ *      would reveal which slice holds the requested record, so all
+ *      shards always do the same work;
+ *   2. gathers one PartialResponse blob per shard (the slice-local
+ *      RowSel + ColTor partial per plane);
+ *   3. finishes the final log2(num_shards) tournament levels on its
+ *      own fold-only engine and serializes a regular Response blob.
+ *
+ * Every fold the monolithic server would perform happens exactly once,
+ * on the same operands, in the same order, so the coordinator's
+ * Response blobs are byte-identical to ServerSession::answer() at any
+ * shard count and thread count. Gather traffic is one ciphertext per
+ * shard per query, which is what makes the paper's scale-out
+ * near-linear.
+ */
+
+#ifndef IVE_SHARD_COORDINATOR_HH
+#define IVE_SHARD_COORDINATOR_HH
+
+#include <memory>
+
+#include "shard/shard_server.hh"
+
+namespace ive {
+
+/** Aggregated counters the bench and example print. */
+struct ShardCountersSummary
+{
+    u32 numShards = 1;
+    u64 queries = 0; ///< Queries folded end-to-end.
+    ServerCountersSnapshot shardOps;   ///< Summed over all shards.
+    ServerCountersSnapshot foldOps;    ///< The coordinator's finish.
+    u64 broadcastBytes = 0; ///< Query bytes shipped to shards.
+    u64 gatherBytes = 0;    ///< Partial bytes gathered back.
+
+    /** Shard and fold work combined. */
+    ServerCountersSnapshot
+    totalOps() const
+    {
+        ServerCountersSnapshot t = shardOps;
+        t += foldOps;
+        return t;
+    }
+};
+
+class ShardCoordinator
+{
+  public:
+    /**
+     * Builds num_shards in-process shard engines plus the fold-only
+     * finishing engine. num_shards must be a power of two in
+     * [1, 2^d]; anything else throws std::invalid_argument.
+     */
+    ShardCoordinator(std::span<const u8> params_blob, u32 num_shards);
+    ShardCoordinator(const PirParams &params, u32 num_shards);
+
+    u32 numShards() const { return static_cast<u32>(shards_.size()); }
+    const PirParams &params() const { return params_; }
+    const HeContext &context() const { return ctx_; }
+
+    /** Direct access to one shard engine (tests, manual filling). */
+    ShardServer &shard(u32 i);
+
+    /**
+     * Fills every shard's slice from one global-record generator.
+     * Shards fill concurrently on the thread pool, so the generator
+     * must be thread-safe — in practice a pure function of
+     * (entry, plane), which is also what makes the content identical
+     * to one big Database::fill.
+     */
+    void fillDatabase(const Database::Generator &gen);
+
+    /** Ingests a client's key blob on every shard + the fold engine. */
+    void ingestKeys(std::span<const u8> key_blob);
+
+    /** Broadcast, gather, fold: one Response blob per query blob. */
+    std::vector<u8> answer(std::span<const u8> query_blob);
+
+    /** Answers a batch of query blobs in parallel (thread pool). */
+    std::vector<std::vector<u8>>
+    answerBatch(const std::vector<std::vector<u8>> &query_blobs);
+
+    /**
+     * Finishes the fold over externally gathered PartialResponse
+     * blobs (e.g. from remote shard processes). Validates that the
+     * set is complete — every shard index exactly once, matching
+     * shard count, matching plane counts — and throws SerializeError
+     * on any mismatch.
+     */
+    std::vector<u8>
+    foldPartials(std::span<const u8> query_blob,
+                 const std::vector<std::vector<u8>> &partial_blobs);
+
+    /** Aggregated op and traffic counters across shards + fold. */
+    ShardCountersSummary summary() const;
+
+  private:
+    std::vector<u8>
+    answerOne(std::span<const u8> query_blob);
+    std::vector<u8>
+    finishFold(const PirQuery &query,
+               const std::vector<std::vector<u8>> &partial_blobs);
+
+    PirParams params_;
+    HeContext ctx_;
+    std::vector<std::unique_ptr<ShardServer>> shards_;
+    std::unique_ptr<PirServer> foldServer_; ///< db = nullptr.
+    std::atomic<u64> queries_{0};
+    std::atomic<u64> broadcastBytes_{0};
+    std::atomic<u64> gatherBytes_{0};
+};
+
+} // namespace ive
+
+#endif // IVE_SHARD_COORDINATOR_HH

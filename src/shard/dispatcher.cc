@@ -1,0 +1,126 @@
+#include "shard/dispatcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ive {
+
+ShardDispatcher::ShardDispatcher(ShardCoordinator &coordinator,
+                                 const SchedulerConfig &cfg)
+    : coordinator_(coordinator), cfg_(cfg)
+{
+    ive_assert(cfg_.maxBatch >= 1);
+    ive_assert(cfg_.windowSec >= 0.0);
+    worker_ = std::thread([this] { runLoop(); });
+}
+
+ShardDispatcher::~ShardDispatcher()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    worker_.join();
+}
+
+std::future<std::vector<u8>>
+ShardDispatcher::submit(std::vector<u8> query_blob)
+{
+    Pending p;
+    p.arrival = Clock::now();
+    p.blob = std::move(query_blob);
+    std::future<std::vector<u8>> fut = p.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stop_)
+            throw std::logic_error(
+                "ShardDispatcher: submit after shutdown");
+        queue_.push_back(std::move(p));
+        ++stats_.submitted;
+    }
+    wake_.notify_all();
+    return fut;
+}
+
+void
+ShardDispatcher::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_.wait(lk, [this] { return queue_.empty() && !inFlight_; });
+}
+
+DispatcherStats
+ShardDispatcher::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+void
+ShardDispatcher::runLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        wake_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            ive_assert(stop_);
+            return;
+        }
+
+        // The waiting window opened when the batch's first query
+        // arrived. If the coordinator was busy past the window's end
+        // (or we are shutting down), the deadline is already in the
+        // past and the batch dispatches immediately — the live
+        // equivalent of the simulator's max(window_close, server_free).
+        auto deadline =
+            queue_.front().arrival +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(cfg_.windowSec));
+        bool full = wake_.wait_until(lk, deadline, [this] {
+            return stop_ ||
+                   queue_.size() >=
+                       static_cast<size_t>(cfg_.maxBatch);
+        });
+
+        size_t take = std::min(queue_.size(),
+                               static_cast<size_t>(cfg_.maxBatch));
+        std::vector<Pending> batch;
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        inFlight_ = true;
+        ++stats_.batches;
+        if (full && batch.size() == static_cast<size_t>(cfg_.maxBatch))
+            ++stats_.fullBatches;
+        stats_.maxBatch = std::max(stats_.maxBatch, u64{take});
+        lk.unlock();
+
+        std::vector<std::vector<u8>> blobs;
+        blobs.reserve(batch.size());
+        for (const Pending &p : batch)
+            blobs.push_back(p.blob);
+        try {
+            std::vector<std::vector<u8>> responses =
+                coordinator_.answerBatch(blobs);
+            for (size_t i = 0; i < batch.size(); ++i)
+                batch[i].promise.set_value(std::move(responses[i]));
+        } catch (...) {
+            // One bad blob fails the whole batch up front (answerBatch
+            // validates before any work); every waiter learns why.
+            for (Pending &p : batch)
+                p.promise.set_exception(std::current_exception());
+        }
+
+        lk.lock();
+        stats_.completed += batch.size();
+        inFlight_ = false;
+        if (queue_.empty())
+            idle_.notify_all();
+    }
+}
+
+} // namespace ive

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Live waiting-window dispatcher feeding the shard coordinator.
+ *
+ * This is the system/batch_scheduler policy (paper SV, Fig. 14b) moved
+ * from discrete-event simulation onto a real thread: a waiting window
+ * opens when the first query of a batch arrives, and the batch is
+ * dispatched when the window expires or maxBatch queries have queued,
+ * whichever comes first. While the coordinator is busy the next window
+ * effectively closes at completion time, exactly like the simulator's
+ * max(window_close, server_free). The same SchedulerConfig drives
+ * both, so simulated load curves and live behavior stay comparable.
+ *
+ * submit() is thread-safe and returns a std::future that resolves to
+ * the query's Response blob (or rethrows the coordinator's error, e.g.
+ * SerializeError for a malformed query blob).
+ */
+
+#ifndef IVE_SHARD_DISPATCHER_HH
+#define IVE_SHARD_DISPATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <thread>
+
+#include "shard/coordinator.hh"
+#include "system/batch_scheduler.hh"
+
+namespace ive {
+
+/** Cumulative dispatcher tallies (under one lock with the queue). */
+struct DispatcherStats
+{
+    u64 submitted = 0;
+    u64 completed = 0;  ///< Futures resolved, success or error.
+    u64 batches = 0;
+    u64 fullBatches = 0; ///< Dispatched because maxBatch was reached.
+    u64 maxBatch = 0;    ///< Largest batch dispatched so far.
+};
+
+class ShardDispatcher
+{
+  public:
+    /**
+     * Starts the dispatch thread. The coordinator must outlive the
+     * dispatcher and have its keys ingested before the first submit.
+     */
+    ShardDispatcher(ShardCoordinator &coordinator,
+                    const SchedulerConfig &cfg);
+
+    /** Flushes the queue, then joins the dispatch thread. */
+    ~ShardDispatcher();
+
+    ShardDispatcher(const ShardDispatcher &) = delete;
+    ShardDispatcher &operator=(const ShardDispatcher &) = delete;
+
+    /** Enqueues one query blob; the future yields its Response blob. */
+    std::future<std::vector<u8>> submit(std::vector<u8> query_blob);
+
+    /** Blocks until every submitted query has been dispatched. */
+    void drain();
+
+    DispatcherStats stats() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        Clock::time_point arrival;
+        std::vector<u8> blob;
+        std::promise<std::vector<u8>> promise;
+    };
+
+    void runLoop();
+
+    ShardCoordinator &coordinator_;
+    SchedulerConfig cfg_;
+
+    mutable std::mutex mu_;
+    std::condition_variable wake_; ///< Queue grew or stop requested.
+    std::condition_variable idle_; ///< Queue drained, nothing in flight.
+    std::deque<Pending> queue_;
+    DispatcherStats stats_;
+    bool inFlight_ = false;
+    bool stop_ = false;
+    std::thread worker_;
+};
+
+} // namespace ive
+
+#endif // IVE_SHARD_DISPATCHER_HH

@@ -1,0 +1,47 @@
+#include "shard/shard_server.hh"
+
+namespace ive {
+
+ShardServer::ShardServer(std::span<const u8> params_blob, u32 shard,
+                         u32 num_shards)
+    : session_(params_blob, shard, num_shards)
+{
+}
+
+ShardServer::ShardServer(const PirParams &params, u32 shard,
+                         u32 num_shards)
+    : session_(params, shard, num_shards)
+{
+}
+
+void
+ShardServer::ingestKeys(std::span<const u8> key_blob)
+{
+    session_.ingestKeys(key_blob);
+}
+
+std::vector<u8>
+ShardServer::answerPartial(std::span<const u8> query_blob)
+{
+    std::vector<u8> partial = session_.answerPartial(query_blob);
+    requestBytes_.fetch_add(query_blob.size(),
+                            std::memory_order_relaxed);
+    responseBytes_.fetch_add(partial.size(), std::memory_order_relaxed);
+    return partial;
+}
+
+ServerCountersSnapshot
+ShardServer::opCounters() const
+{
+    return session_.counters().snapshot();
+}
+
+ShardTraffic
+ShardServer::traffic() const
+{
+    return {session_.queriesAnswered(),
+            requestBytes_.load(std::memory_order_relaxed),
+            responseBytes_.load(std::memory_order_relaxed)};
+}
+
+} // namespace ive

@@ -32,9 +32,21 @@ main()
     server.ingestKeys(key_blob);
     std::vector<u8> response_blob = server.answer(query_blob);
 
+    // Shard 0 of the canonical two-shard deployment (same DB content,
+    // same keys): pins the PartialResponse encoding.
+    ServerSession shard0(params_blob, golden::kPartialShard,
+                         golden::kPartialNumShards);
+    shard0.database().fill([&](u64 entry, int plane) {
+        return golden::entryContent(params, entry, plane);
+    });
+    shard0.ingestKeys(key_blob);
+    std::vector<u8> partial_blob = shard0.answerPartial(query_blob);
+
     bool ok = golden::writeBlob("golden_params.bin", params_blob) &&
               golden::writeBlob("golden_query.bin", query_blob) &&
-              golden::writeBlob("golden_response.bin", response_blob);
+              golden::writeBlob("golden_response.bin", response_blob) &&
+              golden::writeBlob("golden_partial_response.bin",
+                                partial_blob);
     // The key blob is ~1 MB; pin its hash instead of committing it.
     char hash[32];
     std::snprintf(hash, sizeof(hash), "%016llx\n",
@@ -44,12 +56,14 @@ main()
                    "golden_keyblob.fnv",
                    std::span(reinterpret_cast<const u8 *>(hash), 17));
 
-    std::printf("wrote %s/{golden_params,golden_query,"
-                "golden_response}.bin + golden_keyblob.fnv\n",
+    std::printf("wrote %s/{golden_params,golden_query,golden_response,"
+                "golden_partial_response}.bin + golden_keyblob.fnv\n",
                 IVE_TEST_DATA_DIR);
     std::printf("  params   %zu B\n  query    %zu B\n"
-                "  response %zu B\n  keys     %zu B (fnv %s)",
+                "  response %zu B\n  partial  %zu B\n"
+                "  keys     %zu B (fnv %s)",
                 params_blob.size(), query_blob.size(),
-                response_blob.size(), key_blob.size(), hash);
+                response_blob.size(), partial_blob.size(),
+                key_blob.size(), hash);
     return ok ? 0 : 1;
 }

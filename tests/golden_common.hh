@@ -23,6 +23,10 @@ namespace ive::golden {
 inline constexpr u64 kClientSeed = 0x90143Dul;
 inline constexpr u64 kEntry = 13;
 
+/** The pinned PartialResponse fixture: shard 0 of a 2-shard split. */
+inline constexpr u32 kPartialShard = 0;
+inline constexpr u32 kPartialNumShards = 2;
+
 inline PirParams
 params()
 {

@@ -14,6 +14,7 @@
 
 #include "common/thread_pool.hh"
 #include "golden_common.hh"
+#include "shard/coordinator.hh"
 
 using namespace ive;
 
@@ -105,6 +106,43 @@ TEST(Golden, CommittedResponseDecodesToDatabaseEntry)
                   golden::entryContent(f.params, golden::kEntry, plane))
             << "plane " << plane;
     }
+}
+
+TEST(Golden, ShardReproducesCommittedPartialResponse)
+{
+    GoldenFixture f;
+    std::vector<u8> want =
+        golden::readBlob("golden_partial_response.bin");
+    ASSERT_FIXTURE_PRESENT(want, "golden_partial_response.bin");
+
+    ServerSession shard0(f.params_blob, golden::kPartialShard,
+                         golden::kPartialNumShards);
+    shard0.database().fill([&](u64 entry, int plane) {
+        return golden::entryContent(f.params, entry, plane);
+    });
+    shard0.ingestKeys(f.key_blob);
+    for (int threads : {1, 8}) {
+        ThreadPool::setGlobalThreads(threads);
+        EXPECT_EQ(shard0.answerPartial(f.query_blob), want)
+            << threads << " threads";
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
+TEST(Golden, CoordinatorReproducesCommittedResponse)
+{
+    // The sharded deployment must produce the exact Response blob the
+    // committed single-server fixture pins.
+    GoldenFixture f;
+    std::vector<u8> want = golden::readBlob("golden_response.bin");
+    ASSERT_FIXTURE_PRESENT(want, "golden_response.bin");
+
+    ShardCoordinator coord(f.params_blob, golden::kPartialNumShards);
+    coord.fillDatabase([&](u64 entry, int plane) {
+        return golden::entryContent(f.params, entry, plane);
+    });
+    coord.ingestKeys(f.key_blob);
+    EXPECT_EQ(coord.answer(f.query_blob), want);
 }
 
 TEST(Golden, DecoderStillAcceptsCommittedQueryBlob)

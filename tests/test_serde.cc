@@ -388,6 +388,134 @@ TEST(Serde, ResponseHostilePlaneCountThrows)
     EXPECT_THROW(deserializeResponse(f.ctx, two), SerializeError);
 }
 
+TEST(Serde, PartialResponseRoundTrip)
+{
+    SerdeFixture f;
+    SecretKey sk(f.ctx, f.rng);
+    PirPartialResponse partial;
+    partial.shard = 2;
+    partial.numShards = 4;
+    for (int plane = 0; plane < 2; ++plane) {
+        std::vector<u64> plain(f.ctx.n(), 23 + plane);
+        partial.planes.push_back(
+            encryptPlain(f.ctx, sk, f.rng, plain));
+    }
+    std::vector<u8> blob = serializePartialResponse(f.ctx, partial);
+    PirPartialResponse back = deserializePartialResponse(f.ctx, blob);
+    EXPECT_EQ(back.shard, 2u);
+    EXPECT_EQ(back.numShards, 4u);
+    ASSERT_EQ(back.planes.size(), 2u);
+    for (int plane = 0; plane < 2; ++plane) {
+        EXPECT_EQ(back.planes[plane].a, partial.planes[plane].a);
+        EXPECT_EQ(back.planes[plane].b, partial.planes[plane].b);
+    }
+    // Canonical: re-serialization is byte-identical.
+    EXPECT_EQ(serializePartialResponse(f.ctx, back), blob);
+}
+
+TEST(Serde, PartialResponseTruncationSweep)
+{
+    SerdeFixture f;
+    SecretKey sk(f.ctx, f.rng);
+    PirPartialResponse partial;
+    partial.planes.push_back(
+        encryptPlain(f.ctx, sk, f.rng, std::vector<u64>(f.ctx.n(), 1)));
+    std::vector<u8> blob = serializePartialResponse(f.ctx, partial);
+    for (size_t len = 0; len < blob.size(); len += 5) {
+        EXPECT_THROW(deserializePartialResponse(
+                         f.ctx, std::span(blob.data(), len)),
+                     SerializeError)
+            << "prefix length " << len;
+    }
+    std::vector<u8> trailing = blob;
+    trailing.push_back(0);
+    EXPECT_THROW(deserializePartialResponse(f.ctx, trailing),
+                 SerializeError);
+}
+
+TEST(Serde, PartialResponseHeaderErrors)
+{
+    SerdeFixture f;
+    SecretKey sk(f.ctx, f.rng);
+    PirPartialResponse partial;
+    partial.planes.push_back(
+        encryptPlain(f.ctx, sk, f.rng, std::vector<u64>(f.ctx.n(), 9)));
+    std::vector<u8> blob = serializePartialResponse(f.ctx, partial);
+
+    std::vector<u8> bad_magic = blob;
+    bad_magic[0] = 'X';
+    EXPECT_NE(
+        throwMessage([&] { deserializePartialResponse(f.ctx, bad_magic); })
+            .find("magic"),
+        std::string::npos);
+
+    std::vector<u8> bad_version = blob;
+    bad_version[4] = kWireVersion + 1;
+    EXPECT_NE(throwMessage([&] {
+                  deserializePartialResponse(f.ctx, bad_version);
+              }).find("version"),
+              std::string::npos);
+
+    // A plain Response blob is a different kind and must be rejected.
+    std::vector<u8> resp =
+        serializeResponse(f.ctx, PirResponse{partial.planes});
+    EXPECT_NE(
+        throwMessage([&] { deserializePartialResponse(f.ctx, resp); })
+            .find("kind"),
+        std::string::npos);
+}
+
+TEST(Serde, PartialResponseHostileFieldsThrow)
+{
+    SerdeFixture f;
+    SecretKey sk(f.ctx, f.rng);
+    PirPartialResponse partial;
+    partial.shard = 1;
+    partial.numShards = 2;
+    partial.planes.push_back(
+        encryptPlain(f.ctx, sk, f.rng, std::vector<u64>(f.ctx.n(), 3)));
+    std::vector<u8> blob = serializePartialResponse(f.ctx, partial);
+
+    // Layout after the 6-byte header: shard u32, numShards u32,
+    // plane count u64.
+    auto patchU32 = [&](size_t off, u32 v) {
+        std::vector<u8> out = blob;
+        for (int i = 0; i < 4; ++i)
+            out[off + i] = static_cast<u8>(v >> (8 * i));
+        return out;
+    };
+
+    // Non-power-of-two shard count.
+    EXPECT_NE(
+        throwMessage([&] {
+            deserializePartialResponse(f.ctx, patchU32(10, 3));
+        }).find("shard count"),
+        std::string::npos);
+    // Shard count beyond any plausible deployment.
+    EXPECT_THROW(deserializePartialResponse(
+                     f.ctx, patchU32(10, u32{1} << 20)),
+                 SerializeError);
+    // Shard index >= shard count.
+    EXPECT_NE(throwMessage([&] {
+                  deserializePartialResponse(f.ctx, patchU32(6, 2));
+              }).find("out of range"),
+              std::string::npos);
+
+    // Hostile plane counts: zero and huge.
+    std::vector<u8> zero = blob;
+    for (int i = 0; i < 8; ++i)
+        zero[14 + i] = 0;
+    EXPECT_THROW(deserializePartialResponse(f.ctx, zero),
+                 SerializeError);
+    std::vector<u8> huge = blob;
+    for (int i = 0; i < 8; ++i)
+        huge[14 + i] = 0xff;
+    EXPECT_NE(
+        throwMessage([&] { deserializePartialResponse(f.ctx, huge); })
+            .find("count"),
+        std::string::npos);
+}
+
 TEST(Serde, PublicKeysRoundTrip)
 {
     SerdeFixture f;
