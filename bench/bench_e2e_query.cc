@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Canonical end-to-end query benchmark: the repo's perf trajectory.
+ *
+ * Drives the full bytes-only serving path (ServerSession::answer) and
+ * the individual pipeline stages (ExpandQuery, selector assembly,
+ * RowSel, ColTor fold) at 1 and 8 threads, then writes BENCH_e2e.json.
+ * Numbers from this bench are the ones README "Performance" records;
+ * run it from a Release build — Debug/sanitizer timings are noise.
+ *
+ * Usage: bench_e2e_query [--quick] [--out FILE]
+ *   --quick  small ring / database; used by scripts/ci.sh as a perf
+ *            smoke (also verifies the decoded record, so a kernel
+ *            regression that only shows up under NDEBUG still fails CI)
+ *   --out    JSON destination (default BENCH_e2e.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "pir/session.hh"
+
+using namespace ive;
+
+namespace {
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-reps wall time of fn(), in seconds. */
+template <typename Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+        double t0 = now();
+        fn();
+        best = std::min(best, now() - t0);
+    }
+    return best;
+}
+
+struct StageTimes
+{
+    int threads = 1;
+    double expandSec = 0;
+    double selectorsSec = 0;
+    double rowselSec = 0;
+    double foldSec = 0;
+    double answerSec = 0; ///< Full answer() including (de)serialization.
+    double qps = 0;
+};
+
+std::vector<u64>
+dbContent(const PirParams &params, u64 entry, int plane)
+{
+    std::vector<u64> coeffs(params.he.n);
+    for (u64 j = 0; j < params.he.n; ++j)
+        coeffs[j] = (entry * 9973 + static_cast<u64>(plane) * 31 + j) &
+                    (params.he.plainModulus - 1);
+    return coeffs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_e2e.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_e2e_query [--quick] [--out FILE]\n");
+            return 2;
+        }
+    }
+
+    // Default: the functional ring (n = 4096, four 28-bit Solinas
+    // primes) over a 4096-entry database — big enough that RowSel MACs
+    // and the fold dominate, small enough to fill in seconds. Quick: a
+    // CI smoke on the small test ring.
+    PirParams params;
+    if (quick) {
+        params = PirParams::testSmall();
+        params.d0 = 16;
+        params.d = 2;
+    } else {
+        params = PirParams::functionalDefault();
+        params.d0 = 64;
+        params.d = 6;
+    }
+
+    const u64 query_entry = 13 % params.numEntries();
+    ClientSession client(params, /*seed=*/42);
+    std::vector<u8> params_blob = client.paramsBlob();
+    std::vector<u8> key_blob = client.keyBlob();
+
+    ServerSession session(params_blob);
+    session.database().fill([&](u64 entry, int plane) {
+        return dbContent(params, entry, plane);
+    });
+    session.ingestKeys(key_blob);
+
+    std::vector<u8> query_blob = client.queryBlob(query_entry);
+
+    // Correctness oracle: the decoded record must match the fill
+    // generator before any timing is trusted.
+    {
+        std::vector<std::vector<u64>> rec =
+            client.decodeResponse(session.answer(query_blob));
+        for (int plane = 0; plane < params.planes; ++plane) {
+            if (rec[static_cast<size_t>(plane)] !=
+                dbContent(params, query_entry, plane)) {
+                std::fprintf(stderr,
+                             "FAIL: decoded record mismatch (plane %d)\n",
+                             plane);
+                return 1;
+            }
+        }
+    }
+
+    // Stage breakdown runs on the raw pipeline (no wire layer), using
+    // a second in-process client for the typed query object.
+    HeContext ctx(params.he);
+    PirClient stage_client(ctx, params, /*seed=*/42);
+    PirPublicKeys keys = stage_client.genPublicKeys();
+    Database db(ctx, params);
+    db.fill([&](u64 entry, int plane) {
+        return dbContent(params, entry, plane);
+    });
+    PirServer server(ctx, params, &db, std::move(keys));
+    PirQuery query = stage_client.makeQuery(query_entry);
+
+    const int reps = quick ? 2 : 3;
+    std::printf("bench_e2e_query: n=%llu k=%d D0=%llu d=%d "
+                "(%llu entries, %.1f MiB raw)%s\n",
+                (unsigned long long)params.he.n, ctx.ring().k(),
+                (unsigned long long)params.d0, params.d,
+                (unsigned long long)params.numEntries(),
+                params.dbBytes() / (1024.0 * 1024.0),
+                quick ? " [quick]" : "");
+    std::printf("%7s | %9s %9s %9s %9s | %9s %8s\n", "threads",
+                "expand ms", "sel ms", "rowsel ms", "fold ms",
+                "answer ms", "qps");
+
+    std::vector<StageTimes> results;
+    for (int threads : {1, 8}) {
+        ThreadPool::setGlobalThreads(threads);
+        StageTimes st;
+        st.threads = threads;
+
+        std::vector<BfvCiphertext> leaves;
+        st.expandSec =
+            bestOf(reps, [&] { leaves = server.expandQuery(query); });
+        std::vector<RgswCiphertext> selectors;
+        st.selectorsSec = bestOf(
+            reps, [&] { selectors = server.buildSelectors(leaves); });
+        std::vector<BfvCiphertext> entries;
+        st.rowselSec =
+            bestOf(reps, [&] { entries = server.rowSel(leaves); });
+        st.foldSec = bestOf(reps, [&] {
+            std::vector<BfvCiphertext> copy = entries;
+            BfvCiphertext folded =
+                server.colTor(std::move(copy), selectors);
+            (void)folded;
+        });
+
+        // End-to-end: loop answer() until enough wall time accumulates
+        // for a stable queries/sec figure.
+        (void)session.answer(query_blob); // Warm-up.
+        const double min_wall = quick ? 0.2 : 2.0;
+        int iters = 0;
+        double t0 = now(), elapsed = 0;
+        while (elapsed < min_wall) {
+            (void)session.answer(query_blob);
+            ++iters;
+            elapsed = now() - t0;
+        }
+        st.answerSec = elapsed / iters;
+        st.qps = iters / elapsed;
+        results.push_back(st);
+
+        std::printf("%7d | %9.2f %9.2f %9.2f %9.2f | %9.2f %8.3f\n",
+                    threads, st.expandSec * 1e3, st.selectorsSec * 1e3,
+                    st.rowselSec * 1e3, st.foldSec * 1e3,
+                    st.answerSec * 1e3, st.qps);
+    }
+    ThreadPool::setGlobalThreads(1);
+
+    FILE *json = std::fopen(out_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"quick\": %s,\n  \"params\": {\"n\": %llu, "
+                 "\"k\": %d, \"d0\": %llu, \"d\": %d, \"planes\": %d, "
+                 "\"entries\": %llu, \"db_bytes\": %llu},\n"
+                 "  \"points\": [\n",
+                 quick ? "true" : "false",
+                 (unsigned long long)params.he.n, ctx.ring().k(),
+                 (unsigned long long)params.d0, params.d, params.planes,
+                 (unsigned long long)params.numEntries(),
+                 (unsigned long long)params.dbBytes());
+    for (size_t i = 0; i < results.size(); ++i) {
+        const StageTimes &st = results[i];
+        std::fprintf(json,
+                     "%s    {\"threads\": %d, \"expand_ms\": %.3f, "
+                     "\"selectors_ms\": %.3f, \"rowsel_ms\": %.3f, "
+                     "\"fold_ms\": %.3f, \"answer_ms\": %.3f, "
+                     "\"queries_per_sec\": %.4f}",
+                     i == 0 ? "" : ",\n", st.threads,
+                     st.expandSec * 1e3, st.selectorsSec * 1e3,
+                     st.rowselSec * 1e3, st.foldSec * 1e3,
+                     st.answerSec * 1e3, st.qps);
+    }
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

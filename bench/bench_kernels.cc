@@ -13,6 +13,7 @@
 #include "modmath/primes.hh"
 #include "modmath/solinas.hh"
 #include "pir/params.hh"
+#include "poly/kernels.hh"
 
 using namespace ive;
 
@@ -50,6 +51,120 @@ fixture()
 }
 
 } // namespace
+
+// --- lazy vs strict kernel micro-pairs ------------------------------
+//
+// The lazy kernels (poly/kernels.hh) are what the pipeline runs; the
+// strict references are the pre-optimization implementations. Keeping
+// both benchmarked pins the before/after delta the lazy rewrite buys.
+
+static void
+BM_NttForwardLazy(benchmark::State &state)
+{
+    auto &f = fixture();
+    const NttTable &table = f.ctx.ring().ntt[0];
+    std::vector<u64> a(table.n());
+    Rng rng(5);
+    for (u64 &v : a)
+        v = rng.uniform(table.modulus().value());
+    for (auto _ : state) {
+        table.forward(a); // In-place; stays canonical.
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_NttForwardLazy);
+
+static void
+BM_NttForwardStrict(benchmark::State &state)
+{
+    auto &f = fixture();
+    const NttTable &table = f.ctx.ring().ntt[0];
+    std::vector<u64> a(table.n());
+    Rng rng(5);
+    for (u64 &v : a)
+        v = rng.uniform(table.modulus().value());
+    for (auto _ : state) {
+        table.forwardStrict(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_NttForwardStrict);
+
+static void
+BM_NttInverseLazy(benchmark::State &state)
+{
+    auto &f = fixture();
+    const NttTable &table = f.ctx.ring().ntt[0];
+    std::vector<u64> a(table.n());
+    Rng rng(5);
+    for (u64 &v : a)
+        v = rng.uniform(table.modulus().value());
+    for (auto _ : state) {
+        table.inverse(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_NttInverseLazy);
+
+static void
+BM_NttInverseStrict(benchmark::State &state)
+{
+    auto &f = fixture();
+    const NttTable &table = f.ctx.ring().ntt[0];
+    std::vector<u64> a(table.n());
+    Rng rng(5);
+    for (u64 &v : a)
+        v = rng.uniform(table.modulus().value());
+    for (auto _ : state) {
+        table.inverseStrict(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_NttInverseStrict);
+
+static void
+BM_MacChainFused(benchmark::State &state)
+{
+    // A D0 = 64-long RowSel-style MAC chain over one residue plane:
+    // u128 accumulation with one deferred Barrett pass.
+    auto &f = fixture();
+    const Ring &ring = f.ctx.ring();
+    const Modulus &mod = ring.base.modulus(0);
+    std::span<const u64> a = f.dbEntry.residues(0);
+    std::span<const u64> b = f.ct.a.residues(0);
+    std::vector<u128> acc(ring.n);
+    std::vector<u64> out(ring.n);
+    for (auto _ : state) {
+        std::fill(acc.begin(), acc.end(), u128{0});
+        for (int c = 0; c < 64; ++c)
+            kernels::macAccumulate(acc.data(), a.data(), b.data(),
+                                   ring.n);
+        kernels::macReduce(out.data(), acc.data(), ring.n, mod);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * ring.n);
+}
+BENCHMARK(BM_MacChainFused);
+
+static void
+BM_MacChainStrict(benchmark::State &state)
+{
+    auto &f = fixture();
+    const Ring &ring = f.ctx.ring();
+    const Modulus &mod = ring.base.modulus(0);
+    std::span<const u64> a = f.dbEntry.residues(0);
+    std::span<const u64> b = f.ct.a.residues(0);
+    std::vector<u64> out(ring.n);
+    for (auto _ : state) {
+        std::fill(out.begin(), out.end(), 0);
+        for (int c = 0; c < 64; ++c)
+            kernels::mulAccVec(out.data(), a.data(), b.data(), ring.n,
+                               mod);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * ring.n);
+}
+BENCHMARK(BM_MacChainStrict);
 
 static void
 BM_NttForward(benchmark::State &state)

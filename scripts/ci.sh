@@ -9,6 +9,14 @@
 #   --quick          run only `-L tier1 -LE slow` (fast edit loop)
 #   --skip-sanitize  only run the tier-1 (plain Release) configuration
 #   --tsan           additionally run the thread-heavy suites under TSan
+#
+# The tier-1 stage is an explicit Release (-O3 -DNDEBUG) build: the
+# lazy-reduction kernels and the benches are meaningless under Debug or
+# sanitizer configurations, and a kernel bug that only bites once
+# ive_assert bodies still run but NDEBUG changes codegen must be caught
+# here. After the tests it runs `bench_e2e_query --quick` as a perf
+# smoke — that bench decodes the retrieved record and fails on
+# mismatch, so the optimized build is exercised end to end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,9 +35,12 @@ for arg in "$@"; do
 done
 
 echo "=== tier-1: Release build + ctest ==="
-cmake -B build -S .
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS" "${CTEST_SELECT[@]}"
+
+echo "=== perf smoke: bench_e2e_query --quick (Release, NDEBUG) ==="
+(cd build/bench && ./bench_e2e_query --quick --out /dev/null)
 
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
     echo "=== ASan/UBSan build + ctest ==="

@@ -2,6 +2,7 @@
 
 #include "bfv/rgsw.hh"
 #include "common/logging.hh"
+#include "poly/kernels.hh"
 
 namespace ive {
 
@@ -32,29 +33,80 @@ BfvCiphertext
 subs(const HeContext &ctx, const BfvCiphertext &ct, const EvkKey &evk)
 {
     const Ring &ring = ctx.ring();
-    const Gadget &gadget = ctx.gadgetKs();
-
-    // Automorphism on both polynomials (coefficient domain).
-    RnsPoly a_coeff = ct.a;
-    a_coeff.fromNtt(ring);
-    RnsPoly a_rot = a_coeff.automorphism(ring, evk.r);
-
-    RnsPoly b_coeff = ct.b;
-    b_coeff.fromNtt(ring);
-    RnsPoly b_rot = b_coeff.automorphism(ring, evk.r);
-    b_rot.toNtt(ring);
-
-    // Key switch sigma_r(a) back under s.
-    std::vector<RnsPoly> digits = decomposePoly(ctx, gadget, a_rot);
-
     BfvCiphertext out;
     out.a = RnsPoly(ring, Domain::Ntt);
-    out.b = b_rot;
-    for (int k = 0; k < gadget.ell(); ++k) {
-        out.a.mulAccumulate(ring, digits[k], evk.rows[k].a);
-        out.b.mulAccumulate(ring, digits[k], evk.rows[k].b);
-    }
+    out.b = RnsPoly(ring, Domain::Ntt);
+    subsInto(ctx, ct, evk, out, PolyWorkspace::local());
     return out;
+}
+
+void
+subsInto(const HeContext &ctx, const BfvCiphertext &ct, const EvkKey &evk,
+         BfvCiphertext &out, PolyWorkspace &ws)
+{
+    const Ring &ring = ctx.ring();
+    const Gadget &gadget = ctx.gadgetKs();
+    int ell = gadget.ell();
+    ive_assert(&ct != &out);
+    ive_assert(out.a.isNtt());
+    ive_assert(out.a.n() == ring.n && out.a.k() == ring.k());
+
+    const u64 n = ring.n;
+    const int nk = ring.k();
+    const u64 words = ring.words();
+
+    // Automorphism on both polynomials (coefficient domain); the
+    // index/flip map depends only on (r, n), so build it once and
+    // apply it to both.
+    WordLease map(ws, n);
+    RnsPoly::automorphismMap(n, evk.r, map.span());
+    PolyLease tmp(ws, ring, Domain::Coeff);
+    PolyLease a_rot(ws, ring, Domain::Coeff);
+    *tmp = ct.a;
+    tmp->fromNtt(ring);
+    tmp->applyCoeffMap(ring, map.span(), *a_rot);
+
+    *tmp = ct.b;
+    tmp->fromNtt(ring);
+    tmp->applyCoeffMap(ring, map.span(), out.b);
+    out.b.toNtt(ring);
+
+    // Key switch sigma_r(a) back under s: out.a = sum_k d_k * evk_k.a,
+    // out.b = sigma_r(b) + sum_k d_k * evk_k.b, with the ellKs-long
+    // chains reduced lazily for fused primes.
+    PolyVecLease digits(ws, ring, Domain::Coeff, ell);
+    decomposePolyInto(ctx, gadget, *a_rot, *digits, ws);
+
+    AccLease acc(ws, 2 * words);
+    u128 *acc_a = acc.data();
+    u128 *acc_b = acc.data() + words;
+    // No chainMacBegin on out.b: it already holds sigma_r(b), the
+    // chain's addend.
+    for (int p = 0; p < nk; ++p) {
+        kernels::chainMacBegin(ring.base.modulus(p), n,
+                               out.a.residues(p).data());
+    }
+    for (int k = 0; k < ell; ++k) {
+        const RnsPoly &dig = digits[static_cast<size_t>(k)];
+        const BfvCiphertext &row = evk.rows[static_cast<size_t>(k)];
+        for (int p = 0; p < nk; ++p) {
+            const Modulus &mod = ring.base.modulus(p);
+            const u64 *pd = dig.residues(p).data();
+            kernels::chainMacAcc(mod, n, acc_a + static_cast<u64>(p) * n,
+                                 out.a.residues(p).data(), pd,
+                                 row.a.residues(p).data());
+            kernels::chainMacAcc(mod, n, acc_b + static_cast<u64>(p) * n,
+                                 out.b.residues(p).data(), pd,
+                                 row.b.residues(p).data());
+        }
+    }
+    for (int p = 0; p < nk; ++p) {
+        const Modulus &mod = ring.base.modulus(p);
+        kernels::chainMacFinish(mod, n, acc_a + static_cast<u64>(p) * n,
+                                out.a.residues(p).data(), false);
+        kernels::chainMacFinish(mod, n, acc_b + static_cast<u64>(p) * n,
+                                out.b.residues(p).data(), true);
+    }
 }
 
 void

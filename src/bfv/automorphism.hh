@@ -39,6 +39,16 @@ EvkKey genEvk(const HeContext &ctx, const SecretKey &sk, Rng &rng, u64 r);
 BfvCiphertext subs(const HeContext &ctx, const BfvCiphertext &ct,
                    const EvkKey &evk);
 
+/**
+ * Subs into a caller-owned ciphertext (`out` fully overwritten; polys
+ * must have the ring's shape; must not alias `ct`). All temporaries —
+ * coefficient copies, the rotation map, gadget digits, key-switch MAC
+ * accumulators — come from `ws`; the ellKs-row key-switch sums reduce
+ * lazily like the external product.
+ */
+void subsInto(const HeContext &ctx, const BfvCiphertext &ct,
+              const EvkKey &evk, BfvCiphertext &out, PolyWorkspace &ws);
+
 /** Wire encoding: rotation r, row count, then the RLWE rows. */
 void saveEvkKey(ByteWriter &w, const EvkKey &evk);
 

@@ -19,6 +19,7 @@
 
 #include "bfv/context.hh"
 #include "bfv/keys.hh"
+#include "poly/workspace.hh"
 
 namespace ive {
 
@@ -33,6 +34,37 @@ struct BfvCiphertext
     {
         return static_cast<u64>(2 * ctx.ring().words() * bits / 8.0);
     }
+};
+
+/**
+ * RAII lease of a scratch ciphertext backed by PolyWorkspace pool
+ * buffers (both polys tagged NTT; contents unspecified). Strictly
+ * task-scoped: never move the polys out — they return to the pool on
+ * destruction.
+ */
+class CtLease
+{
+  public:
+    CtLease(PolyWorkspace &ws, const Ring &ring) : ws_(&ws)
+    {
+        ct_.a = ws.takePoly(ring, Domain::Ntt);
+        ct_.b = ws.takePoly(ring, Domain::Ntt);
+    }
+    ~CtLease()
+    {
+        ws_->givePoly(std::move(ct_.a));
+        ws_->givePoly(std::move(ct_.b));
+    }
+
+    CtLease(const CtLease &) = delete;
+    CtLease &operator=(const CtLease &) = delete;
+
+    BfvCiphertext &operator*() { return ct_; }
+    BfvCiphertext *operator->() { return &ct_; }
+
+  private:
+    PolyWorkspace *ws_;
+    BfvCiphertext ct_;
 };
 
 /** Encryption of 0: (a, -a*s + e), NTT form. */

@@ -1,6 +1,7 @@
 #include "bfv/rgsw.hh"
 
 #include "common/logging.hh"
+#include "poly/kernels.hh"
 
 namespace ive {
 
@@ -9,16 +10,32 @@ decomposePoly(const HeContext &ctx, const Gadget &gadget,
               const RnsPoly &poly_coeff)
 {
     const Ring &ring = ctx.ring();
-    ive_assert(!poly_coeff.isNtt());
     int ell = gadget.ell();
-
     std::vector<RnsPoly> digits;
     digits.reserve(ell);
     for (int k = 0; k < ell; ++k)
         digits.emplace_back(ring, Domain::Coeff);
+    decomposePolyInto(ctx, gadget, poly_coeff, digits,
+                      PolyWorkspace::local());
+    return digits;
+}
 
-    std::vector<u64> res(ring.k());
-    std::vector<u64> dig(ell);
+void
+decomposePolyInto(const HeContext &ctx, const Gadget &gadget,
+                  const RnsPoly &poly_coeff, std::span<RnsPoly> digits,
+                  PolyWorkspace &ws)
+{
+    const Ring &ring = ctx.ring();
+    ive_assert(!poly_coeff.isNtt());
+    int ell = gadget.ell();
+    ive_assert(static_cast<int>(digits.size()) == ell);
+    for (const RnsPoly &d : digits)
+        ive_assert(!d.isNtt() && d.n() == ring.n);
+
+    WordLease scratch(ws, static_cast<u64>(ring.k()) + ell);
+    std::span<u64> res(scratch.data(), static_cast<size_t>(ring.k()));
+    std::span<u64> dig(scratch.data() + ring.k(),
+                       static_cast<size_t>(ell));
     for (u64 i = 0; i < ring.n; ++i) {
         poly_coeff.coeffResidues(i, res);
         u128 x = ring.base.fromRns(res); // iCRT (Eq. 3)
@@ -29,9 +46,8 @@ decomposePoly(const HeContext &ctx, const Gadget &gadget,
                 digits[k].set(p, i, dig[k]);
         }
     }
-    for (auto &d : digits)
+    for (RnsPoly &d : digits)
         d.toNtt(ring);
-    return digits;
 }
 
 namespace {
@@ -91,29 +107,84 @@ externalProduct(const HeContext &ctx, const RgswCiphertext &rgsw,
                 const BfvCiphertext &ct)
 {
     const Ring &ring = ctx.ring();
+    BfvCiphertext out;
+    out.a = RnsPoly(ring, Domain::Ntt);
+    out.b = RnsPoly(ring, Domain::Ntt);
+    externalProductInto(ctx, rgsw, ct, out, PolyWorkspace::local());
+    return out;
+}
+
+void
+externalProductInto(const HeContext &ctx, const RgswCiphertext &rgsw,
+                    const BfvCiphertext &ct, BfvCiphertext &out,
+                    PolyWorkspace &ws)
+{
+    const Ring &ring = ctx.ring();
     const Gadget &gadget = ctx.gadgetRgsw();
     int ell = rgsw.ell;
     ive_assert(static_cast<int>(rgsw.rows.size()) == 2 * ell);
     ive_assert(gadget.ell() == ell);
+    ive_assert(&ct != &out);
+    ive_assert(out.a.isNtt() && out.b.isNtt());
+    ive_assert(out.a.n() == ring.n && out.a.k() == ring.k());
 
-    RnsPoly a_coeff = ct.a;
-    a_coeff.fromNtt(ring);
-    RnsPoly b_coeff = ct.b;
-    b_coeff.fromNtt(ring);
+    const u64 n = ring.n;
+    const int nk = ring.k();
+    const u64 words = ring.words();
 
-    std::vector<RnsPoly> da = decomposePoly(ctx, gadget, a_coeff);
-    std::vector<RnsPoly> db = decomposePoly(ctx, gadget, b_coeff);
+    PolyLease a_coeff(ws, ring, Domain::Coeff);
+    PolyLease b_coeff(ws, ring, Domain::Coeff);
+    *a_coeff = ct.a;
+    a_coeff->fromNtt(ring);
+    *b_coeff = ct.b;
+    b_coeff->fromNtt(ring);
 
-    BfvCiphertext out;
-    out.a = RnsPoly(ring, Domain::Ntt);
-    out.b = RnsPoly(ring, Domain::Ntt);
-    for (int k = 0; k < ell; ++k) {
-        out.a.mulAccumulate(ring, da[k], rgsw.rows[k].a);
-        out.b.mulAccumulate(ring, da[k], rgsw.rows[k].b);
-        out.a.mulAccumulate(ring, db[k], rgsw.rows[ell + k].a);
-        out.b.mulAccumulate(ring, db[k], rgsw.rows[ell + k].b);
+    PolyVecLease da(ws, ring, Domain::Coeff, ell);
+    PolyVecLease db(ws, ring, Domain::Coeff, ell);
+    decomposePolyInto(ctx, gadget, *a_coeff, *da, ws);
+    decomposePolyInto(ctx, gadget, *b_coeff, *db, ws);
+
+    // The 2x2l matrix-vector product: one MAC chain per output plane,
+    // with the fused/strict dispatch centralized in kernels::chainMac*.
+    AccLease acc(ws, 2 * words);
+    u128 *acc_a = acc.data();
+    u128 *acc_b = acc.data() + words;
+    for (int p = 0; p < nk; ++p) {
+        const Modulus &mod = ring.base.modulus(p);
+        kernels::chainMacBegin(mod, n, out.a.residues(p).data());
+        kernels::chainMacBegin(mod, n, out.b.residues(p).data());
     }
-    return out;
+    for (int k = 0; k < ell; ++k) {
+        const RnsPoly &dig_a = da[static_cast<size_t>(k)];
+        const RnsPoly &dig_b = db[static_cast<size_t>(k)];
+        const BfvCiphertext &row_a = rgsw.rows[static_cast<size_t>(k)];
+        const BfvCiphertext &row_b =
+            rgsw.rows[static_cast<size_t>(ell + k)];
+        for (int p = 0; p < nk; ++p) {
+            const Modulus &mod = ring.base.modulus(p);
+            const u64 *pa = dig_a.residues(p).data();
+            const u64 *pb = dig_b.residues(p).data();
+            u128 *aa = acc_a + static_cast<u64>(p) * n;
+            u128 *ab = acc_b + static_cast<u64>(p) * n;
+            u64 *oa = out.a.residues(p).data();
+            u64 *ob = out.b.residues(p).data();
+            kernels::chainMacAcc(mod, n, aa, oa, pa,
+                                 row_a.a.residues(p).data());
+            kernels::chainMacAcc(mod, n, ab, ob, pa,
+                                 row_a.b.residues(p).data());
+            kernels::chainMacAcc(mod, n, aa, oa, pb,
+                                 row_b.a.residues(p).data());
+            kernels::chainMacAcc(mod, n, ab, ob, pb,
+                                 row_b.b.residues(p).data());
+        }
+    }
+    for (int p = 0; p < nk; ++p) {
+        const Modulus &mod = ring.base.modulus(p);
+        kernels::chainMacFinish(mod, n, acc_a + static_cast<u64>(p) * n,
+                                out.a.residues(p).data(), false);
+        kernels::chainMacFinish(mod, n, acc_b + static_cast<u64>(p) * n,
+                                out.b.residues(p).data(), false);
+    }
 }
 
 void

@@ -42,6 +42,15 @@ std::vector<RnsPoly> decomposePoly(const HeContext &ctx,
                                    const Gadget &gadget,
                                    const RnsPoly &poly_coeff);
 
+/**
+ * Allocation-free decomposition: writes the ell digits into `digits`
+ * (workspace-leased polys of the ring's shape; fully overwritten and
+ * left in NTT domain). Scratch comes from `ws`.
+ */
+void decomposePolyInto(const HeContext &ctx, const Gadget &gadget,
+                       const RnsPoly &poly_coeff,
+                       std::span<RnsPoly> digits, PolyWorkspace &ws);
+
 /** RGSW encryption of the constant m (0 or 1 for ColTor select bits). */
 RgswCiphertext encryptRgswConst(const HeContext &ctx, const SecretKey &sk,
                                 Rng &rng, u64 m);
@@ -54,6 +63,19 @@ RgswCiphertext encryptRgswPoly(const HeContext &ctx, const SecretKey &sk,
 BfvCiphertext externalProduct(const HeContext &ctx,
                               const RgswCiphertext &rgsw,
                               const BfvCiphertext &ct);
+
+/**
+ * External product into a caller-owned ciphertext (`out` fully
+ * overwritten; its polys must already have the ring's shape and NTT
+ * tag; must not alias `ct`). All temporaries — iNTT copies, gadget
+ * digits, MAC accumulators — come from `ws`, and the 2l-row sums
+ * defer reduction across the whole chain (one Barrett per output word
+ * for <= 32-bit primes), so a steady-state call performs no heap
+ * allocation and far fewer reductions than the legacy wrapper did.
+ */
+void externalProductInto(const HeContext &ctx, const RgswCiphertext &rgsw,
+                         const BfvCiphertext &ct, BfvCiphertext &out,
+                         PolyWorkspace &ws);
 
 /** Wire encoding: ell, then the 2*ell RLWE rows. */
 void saveRgswCiphertext(ByteWriter &w, const RgswCiphertext &rgsw);

@@ -1,8 +1,37 @@
 #include "common/serialize.hh"
 
+#include <bit>
+#include <cstring>
+
 #include "common/logging.hh"
 
 namespace ive {
+
+void
+ByteWriter::writeU64Span(std::span<const u64> words)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        size_t old = buf_.size();
+        buf_.resize(old + words.size() * 8);
+        std::memcpy(buf_.data() + old, words.data(), words.size() * 8);
+    } else {
+        for (u64 w : words)
+            writeU64(w);
+    }
+}
+
+void
+ByteReader::readU64Span(std::span<u64> out)
+{
+    need(out.size() * 8, "u64 span");
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(out.data(), data_.data() + pos_, out.size() * 8);
+        pos_ += out.size() * 8;
+    } else {
+        for (u64 &w : out)
+            w = readU64();
+    }
+}
 
 void
 ByteWriter::writeHeader(WireKind kind)

@@ -80,6 +80,13 @@ class ByteWriter
         buf_.insert(buf_.end(), bytes.begin(), bytes.end());
     }
 
+    /**
+     * Bulk little-endian write of a whole word span: one buffer grow +
+     * memcpy on little-endian hosts instead of one writeU64 call per
+     * word. Byte layout is identical to a writeU64 loop.
+     */
+    void writeU64Span(std::span<const u64> words);
+
     /** Writes magic, version, and kind (start of a top-level blob). */
     void writeHeader(WireKind kind);
 
@@ -122,6 +129,13 @@ class ByteReader
             v |= static_cast<u64>(data_[pos_++]) << (8 * i);
         return v;
     }
+
+    /**
+     * Bulk little-endian read of out.size() words, bounds-checked as a
+     * whole before any byte is copied (memcpy on little-endian hosts).
+     * Equivalent to a readU64 loop, minus the per-word length checks.
+     */
+    void readU64Span(std::span<u64> out);
 
     /**
      * Validates magic, version, and kind; throws SerializeError with a

@@ -5,6 +5,7 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "modmath/primes.hh"
+#include "poly/kernels.hh"
 
 namespace ive {
 
@@ -56,51 +57,29 @@ void
 NttTable::forward(std::span<u64> a) const
 {
     ive_assert(a.size() == n_);
-    u64 q = mod_.value();
-    u64 t = n_;
-    for (u64 m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (u64 i = 0; i < m; ++i) {
-            u64 j1 = 2 * i * t;
-            u64 w = fwd_[m + i];
-            u64 ws = fwdShoup_[m + i];
-            for (u64 j = j1; j < j1 + t; ++j) {
-                u64 x = a[j];
-                u64 y = mod_.mulShoup(a[j + t], w, ws);
-                u64 s = x + y;
-                a[j] = s >= q ? s - q : s;
-                a[j + t] = x >= y ? x - y : x + q - y;
-            }
-        }
-    }
+    kernels::nttForwardLazy(a, mod_, fwd_, fwdShoup_);
 }
 
 void
 NttTable::inverse(std::span<u64> a) const
 {
     ive_assert(a.size() == n_);
-    u64 q = mod_.value();
-    u64 t = 1;
-    for (u64 m = n_; m > 1; m >>= 1) {
-        u64 j1 = 0;
-        u64 h = m >> 1;
-        for (u64 i = 0; i < h; ++i) {
-            u64 w = inv_[h + i];
-            u64 ws = invShoup_[h + i];
-            for (u64 j = j1; j < j1 + t; ++j) {
-                u64 x = a[j];
-                u64 y = a[j + t];
-                u64 s = x + y;
-                a[j] = s >= q ? s - q : s;
-                u64 d = x >= y ? x - y : x + q - y;
-                a[j + t] = mod_.mulShoup(d, w, ws);
-            }
-            j1 += 2 * t;
-        }
-        t <<= 1;
-    }
-    for (u64 j = 0; j < n_; ++j)
-        a[j] = mod_.mulShoup(a[j], nInv_, nInvShoup_);
+    kernels::nttInverseLazy(a, mod_, inv_, invShoup_, nInv_, nInvShoup_);
+}
+
+void
+NttTable::forwardStrict(std::span<u64> a) const
+{
+    ive_assert(a.size() == n_);
+    kernels::nttForwardStrict(a, mod_, fwd_, fwdShoup_);
+}
+
+void
+NttTable::inverseStrict(std::span<u64> a) const
+{
+    ive_assert(a.size() == n_);
+    kernels::nttInverseStrict(a, mod_, inv_, invShoup_, nInv_,
+                              nInvShoup_);
 }
 
 } // namespace ive

@@ -30,11 +30,20 @@ class NttTable
     u64 n() const { return n_; }
     const Modulus &modulus() const { return mod_; }
 
-    /** In-place forward negacyclic NTT (coefficients -> evaluations). */
+    /**
+     * In-place forward negacyclic NTT (coefficients -> evaluations).
+     * Runs the Harvey lazy butterflies (poly/kernels.hh): intermediates
+     * in [0, 4q), one final canonicalization pass. Output values are
+     * identical to the strict reference.
+     */
     void forward(std::span<u64> a) const;
 
     /** In-place inverse negacyclic NTT (evaluations -> coefficients). */
     void inverse(std::span<u64> a) const;
+
+    /** Strict reference transforms (differential tests, benches). */
+    void forwardStrict(std::span<u64> a) const;
+    void inverseStrict(std::span<u64> a) const;
 
     /** Count of modular mults one forward transform performs. */
     u64 multCount() const { return n_ / 2 * logN_; }

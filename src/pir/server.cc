@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "poly/kernels.hh"
 
 namespace ive {
 
@@ -72,24 +73,25 @@ PirServer::expandQuery(const PirQuery &query) const
         std::vector<Node> next(offset.back());
         parallelFor(0, nodes.size(), [&](u64 i) {
             Node &node = nodes[i];
-            BfvCiphertext rotated = subs(ctx_, node.ct, keys_.evks[t]);
-            counters_.subsOps.fetch_add(1, std::memory_order_relaxed);
-
-            // Even branch: ct + Subs(ct, N/2^t + 1).
-            BfvCiphertext even = node.ct;
-            addInPlace(ctx_, even, rotated);
+            PolyWorkspace &ws = PolyWorkspace::local();
+            CtLease rotated(ws, ctx_.ring());
+            subsInto(ctx_, node.ct, keys_.evks[t], *rotated, ws);
 
             size_t slot = offset[i];
             u64 odd_idx = node.idx + (u64{1} << t);
             if (odd_idx < used) {
                 // Odd branch: X^{-2^t} * (ct - Subs(ct, r)).
                 BfvCiphertext odd = node.ct;
-                subInPlace(ctx_, odd, rotated);
+                subInPlace(ctx_, odd, *rotated);
                 monomialMulInPlace(ctx_, odd, monomials_[t]);
                 next[slot + 1] = {std::move(odd), odd_idx};
             }
-            next[slot] = {std::move(even), node.idx};
+            // Even branch, in place: ct + Subs(ct, N/2^t + 1).
+            addInPlace(ctx_, node.ct, *rotated);
+            next[slot] = {std::move(node.ct), node.idx};
         });
+        counters_.subsOps.fetch_add(nodes.size(),
+                                    std::memory_order_relaxed);
         nodes = std::move(next);
     }
 
@@ -130,11 +132,16 @@ PirServer::buildSelectors(const std::vector<BfvCiphertext> &leaves,
         // b-side row: the leaf's phase is bit * z^k already.
         sel.rows[ell + k] = leaf;
         // a-side row: needs phase bit * z^k * s; external product
-        // with RGSW(s) multiplies the phase by s.
-        sel.rows[k] = externalProduct(ctx_, keys_.rgswOfSecret, leaf);
-        counters_.externalProducts.fetch_add(1,
-                                             std::memory_order_relaxed);
+        // with RGSW(s) multiplies the phase by s. The row is a
+        // persistent output; only the product's scratch is pooled.
+        BfvCiphertext &row = sel.rows[k];
+        row.a = RnsPoly(ctx_.ring(), Domain::Ntt);
+        row.b = RnsPoly(ctx_.ring(), Domain::Ntt);
+        externalProductInto(ctx_, keys_.rgswOfSecret, leaf, row,
+                            PolyWorkspace::local());
     });
+    counters_.externalProducts.fetch_add(
+        static_cast<u64>(to - from) * ell, std::memory_order_relaxed);
     return selectors;
 }
 
@@ -148,34 +155,69 @@ PirServer::rowSel(const std::vector<BfvCiphertext> &leaves,
 
     // Columns are independent; within one column the accumulation
     // order is fixed, so the output is identical at any thread count.
+    // Per column, the D0-long plainMulAcc chain accumulates raw u128
+    // products and defers the Barrett reduction to one final pass per
+    // output word (fused primes); the accumulators live in the
+    // worker's PolyWorkspace.
+    const Ring &ring = ctx_.ring();
+    const u64 n = ring.n;
+    const int nk = ring.k();
     std::vector<BfvCiphertext> out(cols);
     parallelFor(0, cols, [&](u64 r) {
+        PolyWorkspace &ws = PolyWorkspace::local();
         BfvCiphertext acc;
-        acc.a = RnsPoly(ctx_.ring(), Domain::Ntt);
-        acc.b = RnsPoly(ctx_.ring(), Domain::Ntt);
+        acc.a = RnsPoly(ring, Domain::Ntt);
+        acc.b = RnsPoly(ring, Domain::Ntt);
+        AccLease mac(ws, 2 * ring.words());
+        u128 *acc_a = mac.data();
+        u128 *acc_b = mac.data() + ring.words();
         for (u64 i = 0; i < params_.d0; ++i) {
-            plainMulAcc(ctx_, acc,
-                        db_->entry(first + r * params_.d0 + i, plane),
-                        leaves[i]);
+            const RnsPoly &entry =
+                db_->entry(first + r * params_.d0 + i, plane);
+            const BfvCiphertext &leaf = leaves[i];
+            for (int p = 0; p < nk; ++p) {
+                const Modulus &mod = ring.base.modulus(p);
+                const u64 *pe = entry.residues(p).data();
+                kernels::chainMacAcc(mod, n,
+                                     acc_a + static_cast<u64>(p) * n,
+                                     acc.a.residues(p).data(), pe,
+                                     leaf.a.residues(p).data());
+                kernels::chainMacAcc(mod, n,
+                                     acc_b + static_cast<u64>(p) * n,
+                                     acc.b.residues(p).data(), pe,
+                                     leaf.b.residues(p).data());
+            }
         }
-        counters_.plainMulAccs.fetch_add(params_.d0,
-                                         std::memory_order_relaxed);
+        for (int p = 0; p < nk; ++p) {
+            const Modulus &mod = ring.base.modulus(p);
+            kernels::chainMacFinish(mod, n,
+                                    acc_a + static_cast<u64>(p) * n,
+                                    acc.a.residues(p).data(), false);
+            kernels::chainMacFinish(mod, n,
+                                    acc_b + static_cast<u64>(p) * n,
+                                    acc.b.residues(p).data(), false);
+        }
         out[r] = std::move(acc);
     });
+    counters_.plainMulAccs.fetch_add(cols * params_.d0,
+                                     std::memory_order_relaxed);
     return out;
 }
 
-BfvCiphertext
-PirServer::foldPair(const BfvCiphertext &e0, const BfvCiphertext &e1,
-                    const RgswCiphertext &sel) const
+void
+PirServer::foldPairInPlace(BfvCiphertext &e0, const BfvCiphertext &e1,
+                           const RgswCiphertext &sel) const
 {
-    // Z = X + bit * (Y - X): bit = 0 keeps the even entry.
-    BfvCiphertext diff = e1;
-    subInPlace(ctx_, diff, e0);
-    BfvCiphertext z = externalProduct(ctx_, sel, diff);
-    counters_.externalProducts.fetch_add(1, std::memory_order_relaxed);
-    addInPlace(ctx_, z, e0);
-    return z;
+    // Z = X + bit * (Y - X): bit = 0 keeps the even entry. Computed as
+    // e0 += sel (x) (e1 - e0), entirely in pooled scratch.
+    PolyWorkspace &ws = PolyWorkspace::local();
+    CtLease diff(ws, ctx_.ring());
+    diff->a = e1.a;
+    diff->b = e1.b;
+    subInPlace(ctx_, *diff, e0);
+    CtLease z(ws, ctx_.ring());
+    externalProductInto(ctx_, sel, *diff, *z, ws);
+    addInPlace(ctx_, e0, *z);
 }
 
 BfvCiphertext
@@ -204,10 +246,12 @@ PirServer::foldTournament(std::vector<BfvCiphertext> entries,
         u64 num = u64{1} << (levels - t - 1);
         // Folds within one depth touch disjoint entry pairs.
         parallelFor(0, num, [&](u64 j) {
-            entries[2 * s * j] = foldPair(entries[2 * s * j],
-                                          entries[2 * s * j + s],
-                                          sel[sel_offset + t]);
+            foldPairInPlace(entries[2 * s * j],
+                            entries[2 * s * j + s],
+                            sel[sel_offset + t]);
         });
+        counters_.externalProducts.fetch_add(num,
+                                             std::memory_order_relaxed);
     }
     return entries[0];
 }
@@ -222,9 +266,11 @@ PirServer::colTorScheduled(std::vector<BfvCiphertext> entries,
     for (const auto &op : schedule) {
         u64 s = u64{1} << op.depth;
         u64 base = 2 * s * op.index;
-        entries[base] =
-            foldPair(entries[base], entries[base + s], sel[op.depth]);
+        foldPairInPlace(entries[base], entries[base + s],
+                        sel[op.depth]);
     }
+    counters_.externalProducts.fetch_add(schedule.size(),
+                                         std::memory_order_relaxed);
     return entries[0];
 }
 

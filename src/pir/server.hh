@@ -183,10 +183,13 @@ class PirServer
     const PirParams &params() const { return params_; }
 
   private:
-    /** One tournament step: e0 + sel (x) (e1 - e0). */
-    BfvCiphertext foldPair(const BfvCiphertext &e0,
-                           const BfvCiphertext &e1,
-                           const RgswCiphertext &sel) const;
+    /**
+     * One tournament step, in place: e0 <- e0 + sel (x) (e1 - e0).
+     * The difference, digits and product all live in the calling
+     * thread's PolyWorkspace, so a steady-state fold allocates nothing.
+     */
+    void foldPairInPlace(BfvCiphertext &e0, const BfvCiphertext &e1,
+                         const RgswCiphertext &sel) const;
 
     const HeContext &ctx_;
     PirParams params_;

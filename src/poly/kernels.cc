@@ -1,0 +1,71 @@
+#include "poly/kernels.hh"
+
+namespace ive::kernels {
+
+void
+addVec(u64 *dst, const u64 *src, u64 n, u64 q)
+{
+    for (u64 i = 0; i < n; ++i) {
+        u64 s = dst[i] + src[i];
+        dst[i] = s >= q ? s - q : s;
+    }
+}
+
+void
+subVec(u64 *dst, const u64 *src, u64 n, u64 q)
+{
+    for (u64 i = 0; i < n; ++i) {
+        u64 a = dst[i], b = src[i];
+        dst[i] = a >= b ? a - b : a + q - b;
+    }
+}
+
+void
+negVec(u64 *dst, u64 n, u64 q)
+{
+    for (u64 i = 0; i < n; ++i)
+        dst[i] = dst[i] == 0 ? 0 : q - dst[i];
+}
+
+void
+mulVec(u64 *dst, const u64 *src, u64 n, const Modulus &mod)
+{
+    for (u64 i = 0; i < n; ++i)
+        dst[i] = mod.mul(dst[i], src[i]);
+}
+
+void
+mulAccVec(u64 *dst, const u64 *a, const u64 *b, u64 n, const Modulus &mod)
+{
+    const u64 q = mod.value();
+    for (u64 i = 0; i < n; ++i) {
+        u64 s = dst[i] + mod.mul(a[i], b[i]);
+        dst[i] = s >= q ? s - q : s;
+    }
+}
+
+void
+macAccumulate(u128 *acc, const u64 *a, const u64 *b, u64 n)
+{
+    for (u64 i = 0; i < n; ++i)
+        acc[i] += static_cast<u128>(a[i]) * b[i];
+}
+
+void
+macReduce(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
+{
+    for (u64 i = 0; i < n; ++i)
+        dst[i] = mod.reduce(acc[i]);
+}
+
+void
+macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
+{
+    const u64 q = mod.value();
+    for (u64 i = 0; i < n; ++i) {
+        u64 s = dst[i] + mod.reduce(acc[i]);
+        dst[i] = s >= q ? s - q : s;
+    }
+}
+
+} // namespace ive::kernels

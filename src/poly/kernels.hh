@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Lazy-reduction compute kernels for the polynomial hot path.
+ *
+ * IVE's hardware argument (paper SIV) is that with 28-bit evaluation
+ * primes the modular reductions around each butterfly/MAC are nearly
+ * free; this layer is the software analogue. Two families:
+ *
+ *  - Harvey-style lazy NTT butterflies: intermediate values live in
+ *    [0, 4q) (forward) / [0, 2q) (inverse) and are canonicalized to
+ *    [0, q) once, in a single final pass, instead of per butterfly.
+ *    Valid for every modulus this repo admits (q < 2^62, so 4q fits a
+ *    u64 and the Shoup product bound r < 2q fits as well).
+ *
+ *  - Fused dyadic multiply-accumulate: when q < 2^32 each product of
+ *    canonical residues fits in 64 bits, so a u128 accumulator absorbs
+ *    up to 2^64 terms without overflow and Barrett reduction is paid
+ *    once per output word per *chain* (the D0-long plainMulAcc chains
+ *    of RowSel, the 2l-row sums of the external product) instead of
+ *    once per product. Larger test primes fall back to the strict
+ *    per-product kernels.
+ *
+ * Every kernel takes canonical inputs (< q) and produces canonical
+ * outputs, and computes the same value mod q as the strict reference —
+ * responses stay byte-identical to the pre-lazy pipeline (the committed
+ * golden fixtures pin this). The strict kernels are kept callable for
+ * differential tests and before/after microbenchmarks.
+ *
+ * This header depends only on modmath (no poly/ntt types), so the ntt
+ * module can use the butterfly kernels without a link cycle: the NTT
+ * kernels are inline here, the vector/MAC kernels live in kernels.cc
+ * (compiled into ive_poly, whose consumers are the only callers).
+ */
+
+#ifndef IVE_POLY_KERNELS_HH
+#define IVE_POLY_KERNELS_HH
+
+#include <span>
+
+#include "common/types.hh"
+#include "modmath/modulus.hh"
+
+namespace ive::kernels {
+
+/**
+ * Shoup product without the final conditional subtract: returns
+ * a * b - floor(a * b_shoup / 2^64) * q, which lies in [0, 2q) for ANY
+ * 64-bit a, given b < q, b_shoup = floor(b * 2^64 / q), and q < 2^63.
+ * The lazy butterflies feed it values up to 4q and rely on the [0, 2q)
+ * output bound.
+ */
+inline u64
+mulShoupLazy(u64 a, u64 b, u64 b_shoup, u64 q)
+{
+    u64 approx = static_cast<u64>((static_cast<u128>(a) * b_shoup) >> 64);
+    return a * b - approx * q;
+}
+
+// --- negacyclic NTT butterflies --------------------------------------
+//
+// Twiddle tables are in bit-reversed order with Shoup companions,
+// exactly as NttTable stores them; a.size() is the (power-of-two) ring
+// degree. Lazy and strict variants compute identical outputs.
+
+/** Forward CT butterflies, values in [0, 4q), one final canonical pass. */
+inline void
+nttForwardLazy(std::span<u64> a, const Modulus &mod,
+               std::span<const u64> tw, std::span<const u64> tw_shoup)
+{
+    const u64 q = mod.value();
+    const u64 two_q = 2 * q;
+    const u64 n = a.size();
+    u64 t = n;
+    for (u64 m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (u64 i = 0; i < m; ++i) {
+            const u64 w = tw[m + i];
+            const u64 ws = tw_shoup[m + i];
+            u64 *x = a.data() + 2 * i * t;
+            u64 *y = x + t;
+            for (u64 j = 0; j < t; ++j) {
+                // Invariant: inputs < 4q. u drops to [0, 2q), the Shoup
+                // product lands in [0, 2q), so both outputs stay < 4q.
+                u64 u = x[j];
+                if (u >= two_q)
+                    u -= two_q;
+                u64 v = mulShoupLazy(y[j], w, ws, q);
+                x[j] = u + v;
+                y[j] = u + two_q - v;
+            }
+        }
+    }
+    for (u64 j = 0; j < n; ++j) {
+        u64 v = a[j];
+        if (v >= two_q)
+            v -= two_q;
+        if (v >= q)
+            v -= q;
+        a[j] = v;
+    }
+}
+
+/** Inverse GS butterflies, values in [0, 2q), n^-1 folded at the end. */
+inline void
+nttInverseLazy(std::span<u64> a, const Modulus &mod,
+               std::span<const u64> tw, std::span<const u64> tw_shoup,
+               u64 n_inv, u64 n_inv_shoup)
+{
+    const u64 q = mod.value();
+    const u64 two_q = 2 * q;
+    const u64 n = a.size();
+    u64 t = 1;
+    for (u64 m = n; m > 1; m >>= 1) {
+        u64 j1 = 0;
+        u64 h = m >> 1;
+        for (u64 i = 0; i < h; ++i) {
+            const u64 w = tw[h + i];
+            const u64 ws = tw_shoup[h + i];
+            u64 *x = a.data() + j1;
+            u64 *y = x + t;
+            for (u64 j = 0; j < t; ++j) {
+                // Invariant: inputs < 2q, so u + v < 4q and the
+                // difference argument u + 2q - v is < 4q as well; both
+                // outputs return to [0, 2q).
+                u64 u = x[j];
+                u64 v = y[j];
+                u64 s = u + v;
+                x[j] = s >= two_q ? s - two_q : s;
+                y[j] = mulShoupLazy(u + two_q - v, w, ws, q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (u64 j = 0; j < n; ++j) {
+        u64 v = mulShoupLazy(a[j], n_inv, n_inv_shoup, q);
+        a[j] = v >= q ? v - q : v;
+    }
+}
+
+/** Strict reference forward transform (canonical after each butterfly). */
+inline void
+nttForwardStrict(std::span<u64> a, const Modulus &mod,
+                 std::span<const u64> tw, std::span<const u64> tw_shoup)
+{
+    const u64 q = mod.value();
+    const u64 n = a.size();
+    u64 t = n;
+    for (u64 m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (u64 i = 0; i < m; ++i) {
+            u64 j1 = 2 * i * t;
+            u64 w = tw[m + i];
+            u64 ws = tw_shoup[m + i];
+            for (u64 j = j1; j < j1 + t; ++j) {
+                u64 x = a[j];
+                u64 y = mod.mulShoup(a[j + t], w, ws);
+                u64 s = x + y;
+                a[j] = s >= q ? s - q : s;
+                a[j + t] = x >= y ? x - y : x + q - y;
+            }
+        }
+    }
+}
+
+/** Strict reference inverse transform. */
+inline void
+nttInverseStrict(std::span<u64> a, const Modulus &mod,
+                 std::span<const u64> tw, std::span<const u64> tw_shoup,
+                 u64 n_inv, u64 n_inv_shoup)
+{
+    const u64 q = mod.value();
+    const u64 n = a.size();
+    u64 t = 1;
+    for (u64 m = n; m > 1; m >>= 1) {
+        u64 j1 = 0;
+        u64 h = m >> 1;
+        for (u64 i = 0; i < h; ++i) {
+            u64 w = tw[h + i];
+            u64 ws = tw_shoup[h + i];
+            for (u64 j = j1; j < j1 + t; ++j) {
+                u64 x = a[j];
+                u64 y = a[j + t];
+                u64 s = x + y;
+                a[j] = s >= q ? s - q : s;
+                u64 d = x >= y ? x - y : x + q - y;
+                a[j + t] = mod.mulShoup(d, w, ws);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (u64 j = 0; j < n; ++j)
+        a[j] = mod.mulShoup(a[j], n_inv, n_inv_shoup);
+}
+
+// --- element-wise vector kernels (canonical in, canonical out) -------
+
+void addVec(u64 *dst, const u64 *src, u64 n, u64 q);
+void subVec(u64 *dst, const u64 *src, u64 n, u64 q);
+void negVec(u64 *dst, u64 n, u64 q);
+void mulVec(u64 *dst, const u64 *src, u64 n, const Modulus &mod);
+
+/** Strict dst[i] += a[i] * b[i] mod q (one Barrett per element). */
+void mulAccVec(u64 *dst, const u64 *a, const u64 *b, u64 n,
+               const Modulus &mod);
+
+// --- fused lazy multiply-accumulate ----------------------------------
+
+/**
+ * True when canonical products fit 64 bits, so a u128 accumulator can
+ * absorb any chain this codebase produces (up to 2^64 terms) with a
+ * single deferred Barrett reduction per output word.
+ */
+inline bool
+fusedMacOk(const Modulus &mod)
+{
+    return mod.value() < (u64{1} << 32);
+}
+
+/** acc[i] += a[i] * b[i] as raw u128 sums (no reduction). */
+void macAccumulate(u128 *acc, const u64 *a, const u64 *b, u64 n);
+
+/** dst[i] = acc[i] mod q: the single deferred reduction of a chain. */
+void macReduce(u64 *dst, const u128 *acc, u64 n, const Modulus &mod);
+
+/** dst[i] = dst[i] + (acc[i] mod q) mod q. */
+void macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod);
+
+// --- per-plane MAC-chain dispatch ------------------------------------
+//
+// The chain sites (RowSel columns, the external product's 2l-row sums,
+// Subs' key-switch sums) share one policy: fused primes accumulate raw
+// u128 products and reduce once at the end, strict primes
+// multiply-accumulate canonically into the destination plane as they
+// go. Keeping the dispatch here means a policy change (say, a
+// different fused bound) edits exactly one place.
+
+/**
+ * Prepares a destination plane for a chain: strict primes accumulate
+ * into dst, so it must start zeroed (fused primes ignore dst until
+ * chainMacFinish). Skip for a plane that already holds the chain's
+ * addend — e.g. Subs' b-side, where dst holds the rotated polynomial.
+ */
+inline void
+chainMacBegin(const Modulus &mod, u64 n, u64 *dst)
+{
+    if (!fusedMacOk(mod)) {
+        for (u64 i = 0; i < n; ++i)
+            dst[i] = 0;
+    }
+}
+
+/** One chain link: acc (fused) or dst (strict) += a o b. */
+inline void
+chainMacAcc(const Modulus &mod, u64 n, u128 *acc, u64 *dst,
+            const u64 *a, const u64 *b)
+{
+    if (fusedMacOk(mod))
+        macAccumulate(acc, a, b, n);
+    else
+        mulAccVec(dst, a, b, n, mod);
+}
+
+/**
+ * Ends a chain: fused primes pay their single deferred reduction into
+ * dst (`add` accumulates onto dst's existing value instead of
+ * overwriting). Strict primes already finished inside chainMacAcc.
+ */
+inline void
+chainMacFinish(const Modulus &mod, u64 n, const u128 *acc, u64 *dst,
+               bool add)
+{
+    if (!fusedMacOk(mod))
+        return;
+    if (add)
+        macReduceAdd(dst, acc, n, mod);
+    else
+        macReduce(dst, acc, n, mod);
+}
+
+} // namespace ive::kernels
+
+#endif // IVE_POLY_KERNELS_HH

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "poly/kernels.hh"
 
 namespace ive {
 
@@ -51,13 +52,9 @@ RnsPoly::addInPlace(const Ring &ring, const RnsPoly &other)
 {
     ive_assert(domain_ == other.domain_ && n_ == other.n_);
     for (int p = 0; p < k_; ++p) {
-        u64 q = ring.base.modulus(p).value();
-        u64 *dst = data_.data() + idx(p, 0);
-        const u64 *src = other.data_.data() + other.idx(p, 0);
-        for (u64 i = 0; i < n_; ++i) {
-            u64 s = dst[i] + src[i];
-            dst[i] = s >= q ? s - q : s;
-        }
+        kernels::addVec(data_.data() + idx(p, 0),
+                        other.data_.data() + other.idx(p, 0), n_,
+                        ring.base.modulus(p).value());
     }
 }
 
@@ -66,13 +63,9 @@ RnsPoly::subInPlace(const Ring &ring, const RnsPoly &other)
 {
     ive_assert(domain_ == other.domain_ && n_ == other.n_);
     for (int p = 0; p < k_; ++p) {
-        u64 q = ring.base.modulus(p).value();
-        u64 *dst = data_.data() + idx(p, 0);
-        const u64 *src = other.data_.data() + other.idx(p, 0);
-        for (u64 i = 0; i < n_; ++i) {
-            u64 a = dst[i], b = src[i];
-            dst[i] = a >= b ? a - b : a + q - b;
-        }
+        kernels::subVec(data_.data() + idx(p, 0),
+                        other.data_.data() + other.idx(p, 0), n_,
+                        ring.base.modulus(p).value());
     }
 }
 
@@ -80,10 +73,8 @@ void
 RnsPoly::negateInPlace(const Ring &ring)
 {
     for (int p = 0; p < k_; ++p) {
-        u64 q = ring.base.modulus(p).value();
-        u64 *dst = data_.data() + idx(p, 0);
-        for (u64 i = 0; i < n_; ++i)
-            dst[i] = dst[i] == 0 ? 0 : q - dst[i];
+        kernels::negVec(data_.data() + idx(p, 0), n_,
+                        ring.base.modulus(p).value());
     }
 }
 
@@ -92,11 +83,9 @@ RnsPoly::mulInPlace(const Ring &ring, const RnsPoly &other)
 {
     ive_assert(isNtt() && other.isNtt());
     for (int p = 0; p < k_; ++p) {
-        const Modulus &mod = ring.base.modulus(p);
-        u64 *dst = data_.data() + idx(p, 0);
-        const u64 *src = other.data_.data() + other.idx(p, 0);
-        for (u64 i = 0; i < n_; ++i)
-            dst[i] = mod.mul(dst[i], src[i]);
+        kernels::mulVec(data_.data() + idx(p, 0),
+                        other.data_.data() + other.idx(p, 0), n_,
+                        ring.base.modulus(p));
     }
 }
 
@@ -106,15 +95,10 @@ RnsPoly::mulAccumulate(const Ring &ring, const RnsPoly &a,
 {
     ive_assert(isNtt() && a.isNtt() && b.isNtt());
     for (int p = 0; p < k_; ++p) {
-        const Modulus &mod = ring.base.modulus(p);
-        u64 q = mod.value();
-        u64 *dst = data_.data() + idx(p, 0);
-        const u64 *pa = a.data_.data() + a.idx(p, 0);
-        const u64 *pb = b.data_.data() + b.idx(p, 0);
-        for (u64 i = 0; i < n_; ++i) {
-            u64 s = dst[i] + mod.mul(pa[i], pb[i]);
-            dst[i] = s >= q ? s - q : s;
-        }
+        kernels::mulAccVec(data_.data() + idx(p, 0),
+                           a.data_.data() + a.idx(p, 0),
+                           b.data_.data() + b.idx(p, 0), n_,
+                           ring.base.modulus(p));
     }
 }
 
@@ -150,50 +134,91 @@ RnsPoly::fromNtt(const Ring &ring)
     domain_ = Domain::Coeff;
 }
 
-RnsPoly
-RnsPoly::automorphism(const Ring &ring, u64 r) const
+void
+RnsPoly::applyCoeffMap(const Ring &ring, std::span<const u64> map,
+                       RnsPoly &out) const
 {
+    // Prime-major: both the read stream and every write stay inside
+    // one residue plane, instead of striding across all planes per
+    // coefficient. map[i] = (destination << 1) | flip, a bijection on
+    // [0, n), so `out` is fully overwritten.
+    ive_assert(&out != this);
     ive_assert(domain_ == Domain::Coeff);
-    ive_assert(r % 2 == 1);
-    RnsPoly out(ring, Domain::Coeff);
-    u64 two_n = 2 * n_;
-    for (u64 i = 0; i < n_; ++i) {
-        u64 j = (i * r) % two_n;
-        bool flip = j >= n_;
-        u64 pos = flip ? j - n_ : j;
-        for (int p = 0; p < k_; ++p) {
-            u64 q = ring.base.modulus(p).value();
-            u64 v = data_[idx(p, i)];
-            if (flip)
-                v = v == 0 ? 0 : q - v;
-            out.data_[out.idx(p, pos)] = v;
+    ive_assert(map.size() >= n_);
+    out.n_ = n_;
+    out.k_ = k_;
+    out.domain_ = Domain::Coeff;
+    ive_assert(out.data_.size() == data_.size());
+    for (int p = 0; p < k_; ++p) {
+        u64 q = ring.base.modulus(p).value();
+        const u64 *src = data_.data() + idx(p, 0);
+        u64 *dst = out.data_.data() + out.idx(p, 0);
+        for (u64 i = 0; i < n_; ++i) {
+            u64 m = map[i];
+            u64 v = src[i];
+            dst[m >> 1] = (m & 1) ? (v == 0 ? 0 : q - v) : v;
         }
     }
-    return out;
+}
+
+void
+RnsPoly::automorphismMap(u64 n, u64 r, std::span<u64> map_out)
+{
+    ive_assert(r % 2 == 1);
+    ive_assert(map_out.size() >= n);
+    u64 two_n = 2 * n;
+    for (u64 i = 0; i < n; ++i) {
+        u64 j = (i * r) % two_n;
+        u64 flip = j >= n ? 1 : 0;
+        u64 pos = flip ? j - n : j;
+        map_out[i] = (pos << 1) | flip;
+    }
+}
+
+void
+RnsPoly::automorphismInto(const Ring &ring, u64 r, RnsPoly &out,
+                          std::span<u64> map_scratch) const
+{
+    automorphismMap(n_, r, map_scratch);
+    applyCoeffMap(ring, map_scratch, out);
 }
 
 RnsPoly
-RnsPoly::monomialMul(const Ring &ring, i64 e) const
+RnsPoly::automorphism(const Ring &ring, u64 r) const
 {
-    ive_assert(domain_ == Domain::Coeff);
+    RnsPoly out(ring, Domain::Coeff);
+    std::vector<u64> map(n_);
+    automorphismInto(ring, r, out, map);
+    return out;
+}
+
+void
+RnsPoly::monomialMulInto(const Ring &ring, i64 e, RnsPoly &out,
+                         std::span<u64> map_scratch) const
+{
+    ive_assert(map_scratch.size() >= n_);
     u64 two_n = 2 * n_;
     // Normalize the exponent into [0, 2n).
     u64 shift = static_cast<u64>(((e % static_cast<i64>(two_n)) +
                                   static_cast<i64>(two_n)) %
                                  static_cast<i64>(two_n));
-    RnsPoly out(ring, Domain::Coeff);
     for (u64 i = 0; i < n_; ++i) {
-        u64 j = (i + shift) % two_n;
-        bool flip = j >= n_;
+        u64 j = i + shift;
+        if (j >= two_n)
+            j -= two_n;
+        u64 flip = j >= n_ ? 1 : 0;
         u64 pos = flip ? j - n_ : j;
-        for (int p = 0; p < k_; ++p) {
-            u64 q = ring.base.modulus(p).value();
-            u64 v = data_[idx(p, i)];
-            if (flip)
-                v = v == 0 ? 0 : q - v;
-            out.data_[out.idx(p, pos)] = v;
-        }
+        map_scratch[i] = (pos << 1) | flip;
     }
+    applyCoeffMap(ring, map_scratch, out);
+}
+
+RnsPoly
+RnsPoly::monomialMul(const Ring &ring, i64 e) const
+{
+    RnsPoly out(ring, Domain::Coeff);
+    std::vector<u64> map(n_);
+    monomialMulInto(ring, e, out, map);
     return out;
 }
 
@@ -263,10 +288,10 @@ void
 saveRnsPoly(ByteWriter &w, const RnsPoly &poly)
 {
     w.writeU8(poly.isNtt() ? 1 : 0);
-    for (int p = 0; p < poly.k(); ++p) {
-        for (u64 i = 0; i < poly.n(); ++i)
-            w.writeU64(poly.at(p, i));
-    }
+    // One bulk write per residue plane; byte-identical to the old
+    // word-at-a-time loop.
+    for (int p = 0; p < poly.k(); ++p)
+        w.writeU64Span(poly.residues(p));
 }
 
 RnsPoly
@@ -277,14 +302,16 @@ loadRnsPoly(ByteReader &r, const Ring &ring)
         r.fail(strprintf("invalid polynomial domain tag %u", domain));
     RnsPoly out(ring, domain ? Domain::Ntt : Domain::Coeff);
     for (int p = 0; p < ring.k(); ++p) {
+        // Bulk-read the plane, then range-check every residue: only
+        // canonical encodings decode, exactly as before.
+        std::span<u64> plane = out.residues(p);
+        r.readU64Span(plane);
         u64 q = ring.base.modulus(p).value();
         for (u64 i = 0; i < ring.n; ++i) {
-            u64 v = r.readU64();
-            if (v >= q)
+            if (plane[i] >= q)
                 r.fail(strprintf(
                     "residue %llu out of range for prime %d",
-                    static_cast<unsigned long long>(v), p));
-            out.set(p, i, v);
+                    static_cast<unsigned long long>(plane[i]), p));
         }
     }
     return out;

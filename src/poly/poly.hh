@@ -89,11 +89,41 @@ class RnsPoly
     RnsPoly automorphism(const Ring &ring, u64 r) const;
 
     /**
+     * Allocation-free automorphism: writes sigma_r(this) into `out`
+     * (fully overwritten, domain set to Coeff). `map_scratch` must hold
+     * n words; the index/flip map is computed once into it and applied
+     * prime-major, so writes stay within one residue plane at a time.
+     * `out` must not alias this.
+     */
+    void automorphismInto(const Ring &ring, u64 r, RnsPoly &out,
+                          std::span<u64> map_scratch) const;
+
+    /**
+     * The (pos << 1 | flip) coefficient map of the automorphism
+     * X -> X^r on a degree-n ring, for reuse across several
+     * applyCoeffMap calls with the same rotation (key switching maps
+     * both ciphertext polynomials with one map).
+     */
+    static void automorphismMap(u64 n, u64 r, std::span<u64> map_out);
+
+    /**
+     * Applies a map built by automorphismMap (or the monomial variant)
+     * prime-major: out is fully overwritten, domain set to Coeff.
+     * `out` must not alias this.
+     */
+    void applyCoeffMap(const Ring &ring, std::span<const u64> map,
+                       RnsPoly &out) const;
+
+    /**
      * Multiply by the monomial X^e (e may be negative). Coefficient
      * domain only: a negacyclic rotation with sign flips. NTT-domain
      * callers multiply by a precomputed NTT(X^e) instead.
      */
     RnsPoly monomialMul(const Ring &ring, i64 e) const;
+
+    /** Allocation-free monomialMul (see automorphismInto). */
+    void monomialMulInto(const Ring &ring, i64 e, RnsPoly &out,
+                         std::span<u64> map_scratch) const;
 
     /** NTT-domain image of the monomial X^e (e may be negative). */
     static RnsPoly monomialNtt(const Ring &ring, i64 e);
@@ -106,6 +136,12 @@ class RnsPoly
     bool operator==(const RnsPoly &other) const = default;
 
   private:
+    friend class PolyWorkspace;
+
+    /** Retags the domain without touching data: pooled-buffer reuse
+     *  only (PolyWorkspace), never a domain conversion. */
+    void setDomainUnchecked(Domain d) { domain_ = d; }
+
     size_t
     idx(int p, u64 i) const
     {

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Differential tests for the lazy-reduction kernel layer
+ * (poly/kernels.hh) and the PolyWorkspace zero-allocation property.
+ *
+ * Every lazy kernel is pitted against its strict reference across ring
+ * degrees, prime widths (28-bit Solinas, the 31/32-bit fused-MAC
+ * boundary, ~60-bit fallback primes) and adversarial values at the
+ * edges of the lazy ranges (q-1, near 2q and 4q for the raw Shoup
+ * product; maximal residues for the MAC chains). The serving-path
+ * fixtures of test_golden pin byte-identity end to end; here we pin it
+ * kernel by kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "modmath/primes.hh"
+#include "pir/session.hh"
+#include "poly/kernels.hh"
+#include "poly/workspace.hh"
+
+using namespace ive;
+
+namespace {
+
+/** Primes covering every dispatch class the kernels distinguish. */
+std::vector<u64>
+sweepPrimes(u64 n)
+{
+    std::vector<u64> primes;
+    for (u64 q : kIvePrimes) // 28-bit Solinas (the paper's primes).
+        primes.push_back(q);
+    // 31/32-bit straddle the fused-MAC boundary; 45/60-bit take the
+    // strict fallback everywhere.
+    for (int bits : {31, 32, 33, 45, 60}) {
+        auto found = findNttPrimes(bits, n, 1);
+        EXPECT_FALSE(found.empty()) << "no " << bits << "-bit prime";
+        if (!found.empty())
+            primes.push_back(found[0]);
+    }
+    return primes;
+}
+
+std::vector<u64>
+randomCanonical(u64 n, u64 q, Rng &rng)
+{
+    std::vector<u64> a(n);
+    for (u64 &v : a)
+        v = rng.uniform(q);
+    return a;
+}
+
+} // namespace
+
+TEST(Kernels, MulShoupLazyStaysBelowTwoQ)
+{
+    // The lazy butterflies feed mulShoupLazy values up to 4q and rely
+    // on the output bound r < 2q with r = a*b mod q (mod q). Check the
+    // adversarial corners for every prime class.
+    for (u64 n : {u64{256}}) {
+        for (u64 q : sweepPrimes(n)) {
+            Modulus mod(q);
+            std::vector<u64> as = {0,         1,         q - 1,
+                                   q,         q + 1,     2 * q - 1,
+                                   2 * q,     2 * q + 1, 4 * q - 1,
+                                   ~u64{0}}; // Any u64 input is legal.
+            std::vector<u64> bs = {1, 2, q / 2, q - 2, q - 1};
+            for (u64 a : as) {
+                for (u64 b : bs) {
+                    u64 bs_pre = mod.shoupPrecompute(b);
+                    u64 r = kernels::mulShoupLazy(a, b, bs_pre, q);
+                    ASSERT_LT(r, 2 * q)
+                        << "a=" << a << " b=" << b << " q=" << q;
+                    ASSERT_EQ(r % q, mod.mul(mod.reduce(a), b))
+                        << "a=" << a << " b=" << b << " q=" << q;
+                }
+            }
+        }
+    }
+}
+
+TEST(Kernels, LazyNttMatchesStrictAcrossPrimesAndDegrees)
+{
+    Rng rng(7);
+    for (u64 n : {u64{8}, u64{64}, u64{256}, u64{1024}}) {
+        for (u64 q : sweepPrimes(n)) {
+            NttTable table(q, n);
+            std::vector<u64> a = randomCanonical(n, q, rng);
+            std::vector<u64> lazy = a, strict = a;
+
+            table.forward(lazy);
+            table.forwardStrict(strict);
+            ASSERT_EQ(lazy, strict) << "forward n=" << n << " q=" << q;
+
+            table.inverse(lazy);
+            table.inverseStrict(strict);
+            ASSERT_EQ(lazy, strict) << "inverse n=" << n << " q=" << q;
+            ASSERT_EQ(lazy, a) << "roundtrip n=" << n << " q=" << q;
+        }
+    }
+}
+
+TEST(Kernels, LazyNttAdversarialResidues)
+{
+    // All-maximal and step patterns push every butterfly to the top of
+    // its [0, 4q) / [0, 2q) ranges.
+    for (u64 n : {u64{64}, u64{1024}}) {
+        for (u64 q : sweepPrimes(n)) {
+            NttTable table(q, n);
+            std::vector<std::vector<u64>> patterns;
+            patterns.push_back(std::vector<u64>(n, q - 1));
+            patterns.push_back(std::vector<u64>(n, 0));
+            std::vector<u64> step(n);
+            for (u64 i = 0; i < n; ++i)
+                step[i] = (i % 2) ? q - 1 : 0;
+            patterns.push_back(step);
+            for (const auto &a : patterns) {
+                std::vector<u64> lazy = a, strict = a;
+                table.forward(lazy);
+                table.forwardStrict(strict);
+                ASSERT_EQ(lazy, strict) << "n=" << n << " q=" << q;
+                table.inverse(lazy);
+                table.inverseStrict(strict);
+                ASSERT_EQ(lazy, strict) << "n=" << n << " q=" << q;
+            }
+        }
+    }
+}
+
+TEST(Kernels, FusedMacOkBoundary)
+{
+    // Fused accumulation requires products < 2^64: exactly q < 2^32.
+    EXPECT_TRUE(kernels::fusedMacOk(Modulus(kIvePrimes[0])));
+    u64 below = findNttPrimes(32, 256, 1)[0];
+    ASSERT_LT(below, u64{1} << 32);
+    EXPECT_TRUE(kernels::fusedMacOk(Modulus(below)));
+    u64 above = findNttPrimes(33, 256, 1)[0];
+    ASSERT_GE(above, u64{1} << 32);
+    EXPECT_FALSE(kernels::fusedMacOk(Modulus(above)));
+}
+
+TEST(Kernels, FusedMacChainMatchesStrict)
+{
+    // Long chains of maximal residues: the u128 accumulator must agree
+    // with per-product strict reduction after its single deferred
+    // Barrett pass. 4096 * (2^32-1)^2 stays far below 2^128.
+    Rng rng(11);
+    const u64 n = 64;
+    for (u64 q : sweepPrimes(n)) {
+        Modulus mod(q);
+        if (!kernels::fusedMacOk(mod))
+            continue;
+        for (u64 chain : {u64{1}, u64{7}, u64{256}, u64{4096}}) {
+            std::vector<u128> acc(n, 0);
+            std::vector<u64> strict(n, 0);
+            for (u64 c = 0; c < chain; ++c) {
+                std::vector<u64> a, b;
+                if (c == 0) {
+                    // Adversarial first link: everything maximal.
+                    a.assign(n, q - 1);
+                    b.assign(n, q - 1);
+                } else {
+                    a = randomCanonical(n, q, rng);
+                    b = randomCanonical(n, q, rng);
+                }
+                kernels::macAccumulate(acc.data(), a.data(), b.data(),
+                                       n);
+                kernels::mulAccVec(strict.data(), a.data(), b.data(), n,
+                                   mod);
+            }
+            std::vector<u64> fused(n);
+            kernels::macReduce(fused.data(), acc.data(), n, mod);
+            ASSERT_EQ(fused, strict) << "q=" << q << " chain=" << chain;
+
+            // macReduceAdd: dst + (acc mod q).
+            std::vector<u64> base = randomCanonical(n, q, rng);
+            std::vector<u64> added = base;
+            kernels::macReduceAdd(added.data(), acc.data(), n, mod);
+            for (u64 i = 0; i < n; ++i)
+                ASSERT_EQ(added[i], mod.add(base[i], fused[i]));
+        }
+    }
+}
+
+TEST(Kernels, VectorOpsMatchModulus)
+{
+    Rng rng(13);
+    const u64 n = 128;
+    for (u64 q : sweepPrimes(n)) {
+        Modulus mod(q);
+        std::vector<u64> a = randomCanonical(n, q, rng);
+        std::vector<u64> b = randomCanonical(n, q, rng);
+        a[0] = q - 1;
+        b[0] = q - 1; // Adversarial corner.
+
+        std::vector<u64> add = a, sub = a, mul = a, neg = a,
+                         macc = a;
+        kernels::addVec(add.data(), b.data(), n, q);
+        kernels::subVec(sub.data(), b.data(), n, q);
+        kernels::mulVec(mul.data(), b.data(), n, mod);
+        kernels::negVec(neg.data(), n, q);
+        kernels::mulAccVec(macc.data(), a.data(), b.data(), n, mod);
+        for (u64 i = 0; i < n; ++i) {
+            ASSERT_EQ(add[i], mod.add(a[i], b[i]));
+            ASSERT_EQ(sub[i], mod.sub(a[i], b[i]));
+            ASSERT_EQ(mul[i], mod.mul(a[i], b[i]));
+            ASSERT_EQ(neg[i], mod.neg(a[i]));
+            ASSERT_EQ(macc[i], mod.add(a[i], mod.mul(a[i], b[i])));
+        }
+    }
+}
+
+TEST(Kernels, LargePrimeStrictFallbackPipeline)
+{
+    // A full encrypt/Subs/external-product/decrypt pipeline over a ring
+    // whose primes straddle the fused-MAC boundary exercises the mixed
+    // fused/strict dispatch on every hot path at once.
+    u64 n = 256;
+    std::vector<u64> primes = {kIvePrimes[0], kIvePrimes[1],
+                               findNttPrimes(45, n, 1)[0]};
+    HeContextConfig cfg;
+    cfg.n = n;
+    cfg.primes = primes;
+    cfg.plainModulus = u64{1} << 16;
+    cfg.logZKs = 13;
+    cfg.ellKs = 9;
+    cfg.logZRgsw = 14;
+    cfg.ellRgsw = 8;
+    HeContext ctx(cfg);
+    Rng rng(3);
+    SecretKey sk(ctx, rng);
+
+    std::vector<u64> plain(n);
+    for (u64 i = 0; i < n; ++i)
+        plain[i] = (i * 37 + 5) & (cfg.plainModulus - 1);
+    BfvCiphertext ct = encryptPlain(ctx, sk, rng, plain);
+
+    // RGSW(1) external product keeps the payload; decrypt must agree.
+    RgswCiphertext one = encryptRgswConst(ctx, sk, rng, 1);
+    BfvCiphertext prod = externalProduct(ctx, one, ct);
+    EXPECT_EQ(decrypt(ctx, sk, prod), plain);
+}
+
+TEST(Workspace, SteadyStateAnswerIsAllocationFree)
+{
+    // Acceptance: a steady-state ServerSession::answer performs no
+    // per-query RnsPoly heap allocations in the fold/external-product
+    // path. The pool counters are process-wide; with a single-threaded
+    // pool the accounting is deterministic.
+    ThreadPool::setGlobalThreads(1);
+    PirParams params = PirParams::testSmall();
+    ClientSession client(params, 21);
+    ServerSession session(client.paramsBlob());
+    session.database().fill([&](u64 entry, int plane) {
+        std::vector<u64> coeffs(params.he.n);
+        for (u64 j = 0; j < params.he.n; ++j)
+            coeffs[j] = (entry * 11 + static_cast<u64>(plane) + j) &
+                        (params.he.plainModulus - 1);
+        return coeffs;
+    });
+    session.ingestKeys(client.keyBlob());
+    std::vector<u8> query = client.queryBlob(3);
+
+    // Warm the pool: the first queries grow every free list to the
+    // pipeline's high-water mark.
+    std::vector<u8> want = session.answer(query);
+    (void)session.answer(query);
+
+    PolyWorkspace::Stats before = PolyWorkspace::stats();
+    std::vector<u8> got;
+    for (int i = 0; i < 3; ++i)
+        got = session.answer(query);
+    PolyWorkspace::Stats after = PolyWorkspace::stats();
+
+    EXPECT_EQ(got, want); // Replays stay byte-identical.
+    EXPECT_EQ(after.polyAllocs, before.polyAllocs)
+        << "steady-state answer() allocated fresh scratch polynomials";
+    EXPECT_EQ(after.bufAllocs, before.bufAllocs)
+        << "steady-state answer() grew accumulator/scratch buffers";
+    EXPECT_GT(after.polyReuses, before.polyReuses)
+        << "hot path is not using the workspace pool";
+}
+
+TEST(Workspace, LeasesRecyclePerShape)
+{
+    Ring small(64, {kIvePrimes[0]});
+    Ring big(128, {kIvePrimes[0], kIvePrimes[1]});
+    PolyWorkspace &ws = PolyWorkspace::local();
+
+    RnsPoly p_small = ws.takePoly(small, Domain::Coeff);
+    RnsPoly p_big = ws.takePoly(big, Domain::Ntt);
+    EXPECT_EQ(p_small.n(), 64u);
+    EXPECT_EQ(p_big.k(), 2);
+    EXPECT_TRUE(p_big.isNtt());
+    ws.givePoly(std::move(p_small));
+    ws.givePoly(std::move(p_big));
+
+    PolyWorkspace::Stats before = PolyWorkspace::stats();
+    RnsPoly again = ws.takePoly(small, Domain::Ntt);
+    EXPECT_EQ(again.n(), 64u);
+    EXPECT_EQ(again.k(), 1);
+    EXPECT_TRUE(again.isNtt());
+    PolyWorkspace::Stats after = PolyWorkspace::stats();
+    EXPECT_EQ(after.polyAllocs, before.polyAllocs);
+    EXPECT_EQ(after.polyReuses, before.polyReuses + 1);
+    ws.givePoly(std::move(again));
+}
