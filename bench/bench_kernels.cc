@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "bfv/automorphism.hh"
 #include "bfv/rgsw.hh"
 #include "modmath/primes.hh"
@@ -263,6 +265,114 @@ BM_IcrtReconstruct(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * ring.n);
 }
 BENCHMARK(BM_IcrtReconstruct);
+
+// --- per-ISA backend columns ----------------------------------------
+//
+// One row per runnable backend per hot kernel (the dispatch table of
+// poly/simd/simd.hh), so README's per-ISA table comes from a single
+// run on the widest machine available. The default-named benchmarks
+// above stay on the *active* backend — the trajectory numbers.
+
+namespace {
+
+void
+registerIsaBench(const char *kernel, const simd::Kernels *k,
+                 void (*fn)(benchmark::State &, const simd::Kernels *))
+{
+    std::string name = std::string("BM_Isa_") + kernel + "/" + k->name;
+    benchmark::RegisterBenchmark(name.c_str(), fn, k);
+}
+
+void
+isaNttForward(benchmark::State &state, const simd::Kernels *k)
+{
+    auto &f = fixture();
+    const NttTable &table = f.ctx.ring().ntt[0];
+    std::vector<u64> a(table.n());
+    Rng rng(5);
+    for (u64 &v : a)
+        v = rng.uniform(table.modulus().value());
+    for (auto _ : state) {
+        k->nttForwardLazy(a.data(), table.n(), table.modulus(),
+                          table.forwardTwiddles());
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+
+void
+isaNttInverse(benchmark::State &state, const simd::Kernels *k)
+{
+    auto &f = fixture();
+    const NttTable &table = f.ctx.ring().ntt[0];
+    std::vector<u64> a(table.n());
+    Rng rng(5);
+    for (u64 &v : a)
+        v = rng.uniform(table.modulus().value());
+    for (auto _ : state) {
+        k->nttInverseLazy(a.data(), table.n(), table.modulus(),
+                          table.inverseTwiddles(), table.nInv(),
+                          table.nInvShoup(), table.nInvShoup52());
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+
+void
+isaMacChain(benchmark::State &state, const simd::Kernels *k)
+{
+    auto &f = fixture();
+    const Ring &ring = f.ctx.ring();
+    const Modulus &mod = ring.base.modulus(0);
+    std::span<const u64> a = f.dbEntry.residues(0);
+    std::span<const u64> b = f.ct.a.residues(0);
+    std::vector<u128> acc(ring.n);
+    std::vector<u64> out(ring.n);
+    for (auto _ : state) {
+        std::fill(acc.begin(), acc.end(), u128{0});
+        for (int c = 0; c < 64; ++c)
+            k->macAccumulate(acc.data(), a.data(), b.data(), ring.n);
+        k->macReduce(out.data(), acc.data(), ring.n, mod);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * ring.n);
+}
+
+void
+isaApplyCoeffMap(benchmark::State &state, const simd::Kernels *k)
+{
+    auto &f = fixture();
+    const Ring &ring = f.ctx.ring();
+    const u64 q = ring.base.modulus(0).value();
+    std::vector<u64> map(ring.n);
+    RnsPoly::automorphismMap(ring.n, ring.n / 2 + 1, map);
+    std::vector<u64> src(f.dbEntry.residues(0).begin(),
+                         f.dbEntry.residues(0).end());
+    std::vector<u64> dst(ring.n);
+    for (auto _ : state) {
+        k->applyCoeffMap(dst.data(), src.data(), map.data(), ring.n, q);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * ring.n);
+}
+
+int
+registerIsaBenches()
+{
+    for (simd::Isa isa :
+         {simd::Isa::Scalar, simd::Isa::Avx2, simd::Isa::Avx512}) {
+        const simd::Kernels *k = simd::backend(isa);
+        if (k == nullptr)
+            continue;
+        registerIsaBench("NttForward", k, &isaNttForward);
+        registerIsaBench("NttInverse", k, &isaNttInverse);
+        registerIsaBench("MacChain", k, &isaMacChain);
+        registerIsaBench("ApplyCoeffMap", k, &isaApplyCoeffMap);
+    }
+    return 0;
+}
+
+const int g_isa_benches_registered = registerIsaBenches();
+
+} // namespace
 
 static void
 BM_BarrettMul(benchmark::State &state)

@@ -14,9 +14,21 @@
 # lazy-reduction kernels and the benches are meaningless under Debug or
 # sanitizer configurations, and a kernel bug that only bites once
 # ive_assert bodies still run but NDEBUG changes codegen must be caught
-# here. After the tests it runs `bench_e2e_query --quick` as a perf
-# smoke — that bench decodes the retrieved record and fails on
-# mismatch, so the optimized build is exercised end to end.
+# here. The suite then runs once per *runnable* SIMD backend (forced
+# via IVE_FORCE_ISA; a backend whose probe fails on this CPU/build is
+# skipped with a log line) plus once on the default dispatch, so the
+# byte-identity contract of every backend — including test_golden's
+# committed fixtures — is pinned end to end on whatever hardware CI
+# has, not just the widest ISA. A dispatch smoke prints which backend
+# the default leg actually exercised (a CI log that silently ran
+# scalar everywhere would otherwise look green).
+# After the tests it runs `bench_e2e_query --quick` as a perf smoke —
+# that bench decodes the retrieved record and fails on mismatch, so the
+# optimized build is exercised end to end.
+#
+# The ASan/UBSan stage runs the same suites (including test_simd's
+# backend sweeps) with the vector TUs instrumented, so out-of-bounds
+# lane loads/stores in the intrinsics paths surface there.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +49,27 @@ done
 echo "=== tier-1: Release build + ctest ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
+
+echo "=== dispatch smoke: selected SIMD backend ==="
+./build/tests/test_simd \
+    --gtest_filter=Simd.DispatchResolvesToRunnableBackend
+
+for isa in scalar avx2 avx512; do
+    # Probe first: forcing an ISA this CPU/build cannot run aborts by
+    # design, which must read as "skipped", not as a test failure.
+    if ! IVE_FORCE_ISA="$isa" ./build/tests/test_simd \
+        --gtest_filter=Simd.DispatchResolvesToRunnableBackend \
+        > /dev/null 2>&1; then
+        echo "=== tier-1 ctest: IVE_FORCE_ISA=$isa not runnable here, skipped ==="
+        continue
+    fi
+    echo "=== tier-1 ctest: IVE_FORCE_ISA=$isa ==="
+    IVE_FORCE_ISA="$isa" \
+        ctest --test-dir build --output-on-failure -j "$JOBS" \
+        "${CTEST_SELECT[@]}"
+done
+
+echo "=== tier-1 ctest: default dispatch ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" "${CTEST_SELECT[@]}"
 
 echo "=== perf smoke: bench_e2e_query --quick (Release, NDEBUG) ==="

@@ -1,6 +1,7 @@
 #include "bfv/bfv.hh"
 
 #include "common/logging.hh"
+#include "poly/kernels.hh"
 
 namespace ive {
 
@@ -128,6 +129,26 @@ monomialMulInPlace(const HeContext &ctx, BfvCiphertext &ct,
 {
     ct.a.mulInPlace(ctx.ring(), monomial_ntt);
     ct.b.mulInPlace(ctx.ring(), monomial_ntt);
+}
+
+void
+monomialMulInPlace(const HeContext &ctx, BfvCiphertext &ct,
+                   const RnsPoly &monomial_ntt,
+                   std::span<const u64> monomial_shoup)
+{
+    const Ring &ring = ctx.ring();
+    ive_assert(ct.a.isNtt() && ct.b.isNtt() && monomial_ntt.isNtt());
+    ive_assert(monomial_shoup.size() == ring.words());
+    for (int p = 0; p < ring.k(); ++p) {
+        u64 q = ring.base.modulus(p).value();
+        const u64 *mono = monomial_ntt.residues(p).data();
+        const u64 *shoup =
+            monomial_shoup.data() + static_cast<u64>(p) * ring.n;
+        kernels::mulShoupVec(ct.a.residues(p).data(), mono, shoup,
+                             ring.n, q);
+        kernels::mulShoupVec(ct.b.residues(p).data(), mono, shoup,
+                             ring.n, q);
+    }
 }
 
 void

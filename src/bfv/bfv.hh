@@ -111,6 +111,16 @@ void plainMulAcc(const HeContext &ctx, BfvCiphertext &acc,
 void monomialMulInPlace(const HeContext &ctx, BfvCiphertext &ct,
                         const RnsPoly &monomial_ntt);
 
+/**
+ * ct *= X^e using a precomputed NTT monomial plus its x2^64 Shoup
+ * companions (prime-major, k*n words): a fixed multiplicand turns
+ * every element's Barrett reduction into a Shoup multiply. Values are
+ * identical to the plain overload.
+ */
+void monomialMulInPlace(const HeContext &ctx, BfvCiphertext &ct,
+                        const RnsPoly &monomial_ntt,
+                        std::span<const u64> monomial_shoup);
+
 /** Wire encoding: the a then b polynomials (see saveRnsPoly). */
 void saveBfvCiphertext(ByteWriter &w, const BfvCiphertext &ct);
 BfvCiphertext loadBfvCiphertext(ByteReader &r, const Ring &ring);

@@ -1,5 +1,8 @@
 #include "bfv/rgsw.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.hh"
 #include "poly/kernels.hh"
 
@@ -40,10 +43,19 @@ decomposePolyInto(const HeContext &ctx, const Gadget &gadget,
         poly_coeff.coeffResidues(i, res);
         u128 x = ring.base.fromRns(res); // iCRT (Eq. 3)
         gadget.decompose(x, dig);        // bit extraction
-        for (int k = 0; k < ell; ++k) {
-            // Digits are < z < every q_i: identical residues per prime.
-            for (int p = 0; p < ring.k(); ++p)
-                digits[k].set(p, i, dig[k]);
+        // Digits are < z < every q_i, so the residue is the same in
+        // every plane: write only plane 0 here (ell unit-stride
+        // streams) and replicate whole planes below, instead of the
+        // old ell x k scattered stores per coefficient.
+        for (int k = 0; k < ell; ++k)
+            digits[k].set(0, i, dig[k]);
+    }
+    for (int k = 0; k < ell; ++k) {
+        std::span<const u64> p0 =
+            std::as_const(digits[k]).residues(0);
+        for (int p = 1; p < ring.k(); ++p) {
+            std::copy(p0.begin(), p0.end(),
+                      digits[k].residues(p).begin());
         }
     }
     for (RnsPoly &d : digits)

@@ -89,6 +89,21 @@ class Modulus
         return r >= q_ ? r - q_ : r;
     }
 
+    /**
+     * High word of floor(2^128 / q), i.e. floor(2^64 / q): the
+     * single-word Barrett constant the SIMD backends use to reduce
+     * 64-bit values.
+     */
+    u64 barrettHi() const { return mHi_; }
+
+    /** 2^64 mod q, for folding u128 accumulator high words. */
+    u64
+    pow2_64ModQ() const
+    {
+        // 2^64 = floor(2^64/q)*q + (2^64 mod q).
+        return 0 - mHi_ * q_;
+    }
+
     /** a^e mod q by square-and-multiply. */
     u64 pow(u64 a, u64 e) const;
 

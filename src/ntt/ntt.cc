@@ -6,8 +6,27 @@
 #include "common/logging.hh"
 #include "modmath/primes.hh"
 #include "poly/kernels.hh"
+#include "poly/simd/simd.hh"
 
 namespace ive {
+
+namespace {
+
+/**
+ * The 52-bit lazy Shoup product's range proof needs 4q < 2^52; below
+ * this bound NttTable precomputes x2^52 companions so the IFMA
+ * butterflies can engage. IVE's 28-bit evaluation primes are far
+ * inside it; only wide test primes (>= 50 bits) fall back.
+ */
+constexpr u64 kIfmaModulusBound = u64{1} << 50;
+
+u64
+shoupPrecompute52(u64 b, u64 q)
+{
+    return static_cast<u64>((static_cast<u128>(b) << 52) / q);
+}
+
+} // namespace
 
 NttTable::NttTable(u64 q, u64 n) : mod_(q), n_(n), logN_(log2Exact(n))
 {
@@ -24,10 +43,18 @@ NttTable::NttTable(u64 q, u64 n) : mod_(q), n_(n), logN_(log2Exact(n))
     psi_ = rootOfUnity(q, 2 * n);
     u64 psi_inv = mod_.inverse(psi_);
 
+    // Spend the 2n-words-per-direction companion tables only where
+    // some backend can consume them (IFMA compiled in and runnable).
+    const bool ifma_ok =
+        q < kIfmaModulusBound && simd::ifmaButterfliesAvailable();
     fwd_.resize(n);
     fwdShoup_.resize(n);
     inv_.resize(n);
     invShoup_.resize(n);
+    if (ifma_ok) {
+        fwdShoup52_.resize(n);
+        invShoup52_.resize(n);
+    }
 
     // Powers of psi stored in bit-reversed index order: table[i] holds
     // psi^{bitrev(i)}. Both butterfly loops below index the tables so
@@ -47,24 +74,46 @@ NttTable::NttTable(u64 q, u64 n) : mod_(q), n_(n), logN_(log2Exact(n))
         inv_[i] = pow_inv[r];
         fwdShoup_[i] = mod_.shoupPrecompute(fwd_[i]);
         invShoup_[i] = mod_.shoupPrecompute(inv_[i]);
+        if (ifma_ok) {
+            fwdShoup52_[i] = shoupPrecompute52(fwd_[i], q);
+            invShoup52_[i] = shoupPrecompute52(inv_[i], q);
+        }
     }
 
     nInv_ = mod_.inverse(n % q);
     nInvShoup_ = mod_.shoupPrecompute(nInv_);
+    nInvShoup52_ = ifma_ok ? shoupPrecompute52(nInv_, q) : 0;
+}
+
+simd::NttTwiddles
+NttTable::forwardTwiddles() const
+{
+    return {fwd_.data(), fwdShoup_.data(),
+            fwdShoup52_.empty() ? nullptr : fwdShoup52_.data()};
+}
+
+simd::NttTwiddles
+NttTable::inverseTwiddles() const
+{
+    return {inv_.data(), invShoup_.data(),
+            invShoup52_.empty() ? nullptr : invShoup52_.data()};
 }
 
 void
 NttTable::forward(std::span<u64> a) const
 {
     ive_assert(a.size() == n_);
-    kernels::nttForwardLazy(a, mod_, fwd_, fwdShoup_);
+    simd::active().nttForwardLazy(a.data(), n_, mod_,
+                                  forwardTwiddles());
 }
 
 void
 NttTable::inverse(std::span<u64> a) const
 {
     ive_assert(a.size() == n_);
-    kernels::nttInverseLazy(a, mod_, inv_, invShoup_, nInv_, nInvShoup_);
+    simd::active().nttInverseLazy(a.data(), n_, mod_,
+                                  inverseTwiddles(), nInv_, nInvShoup_,
+                                  nInvShoup52_);
 }
 
 void
@@ -83,3 +132,4 @@ NttTable::inverseStrict(std::span<u64> a) const
 }
 
 } // namespace ive
+

@@ -18,6 +18,7 @@
 
 #include "common/types.hh"
 #include "modmath/modulus.hh"
+#include "poly/simd/simd.hh"
 
 namespace ive {
 
@@ -32,9 +33,10 @@ class NttTable
 
     /**
      * In-place forward negacyclic NTT (coefficients -> evaluations).
-     * Runs the Harvey lazy butterflies (poly/kernels.hh): intermediates
-     * in [0, 4q), one final canonicalization pass. Output values are
-     * identical to the strict reference.
+     * Runs the Harvey lazy butterflies of the active SIMD backend
+     * (poly/simd/simd.hh): intermediates in [0, 4q), one final
+     * canonicalization pass. Output values are identical to the strict
+     * reference under every backend.
      */
     void forward(std::span<u64> a) const;
 
@@ -45,6 +47,15 @@ class NttTable
     void forwardStrict(std::span<u64> a) const;
     void inverseStrict(std::span<u64> a) const;
 
+    // Backend-facing table access, so differential tests and the
+    // per-ISA microbenchmarks can drive a *specific* backend instead
+    // of the process-wide active one.
+    simd::NttTwiddles forwardTwiddles() const;
+    simd::NttTwiddles inverseTwiddles() const;
+    u64 nInv() const { return nInv_; }
+    u64 nInvShoup() const { return nInvShoup_; }
+    u64 nInvShoup52() const { return nInvShoup52_; }
+
     /** Count of modular mults one forward transform performs. */
     u64 multCount() const { return n_ / 2 * logN_; }
 
@@ -54,13 +65,20 @@ class NttTable
     int logN_;
     u64 psi_;    ///< Primitive 2n-th root of unity.
 
-    // Twiddles in bit-reversed order, with Shoup companions.
+    // Twiddles in bit-reversed order, with x2^64 Shoup companions and
+    // (for q < 2^50, where the bound proof of the 52-bit lazy Shoup
+    // product holds) the x2^52 companions the AVX-512 IFMA butterflies
+    // consume. The 52-bit vectors stay empty above the bound, which
+    // the dispatch reads as "no IFMA path for this modulus".
     std::vector<u64> fwd_;
     std::vector<u64> fwdShoup_;
+    std::vector<u64> fwdShoup52_;
     std::vector<u64> inv_;
     std::vector<u64> invShoup_;
+    std::vector<u64> invShoup52_;
     u64 nInv_;
     u64 nInvShoup_;
+    u64 nInvShoup52_;
 };
 
 } // namespace ive

@@ -23,9 +23,40 @@ PirServer::PirServer(const HeContext &ctx, const PirParams &params,
     }
     ive_assert(static_cast<int>(keys_.evks.size()) >=
                params_.expansionDepth());
+
+    // Expansion and key-switch keys are consumed in NTT form by every
+    // Subs and external product of the serving path. Normalize them
+    // once here instead of checking (or silently mis-using a
+    // coefficient-form key blob — the wire format tags either domain)
+    // inside expandQuery: after this, the hot path never transforms a
+    // key again.
+    const Ring &ring = ctx_.ring();
+    auto toNttOnce = [&](BfvCiphertext &row) {
+        if (!row.a.isNtt())
+            row.a.toNtt(ring);
+        if (!row.b.isNtt())
+            row.b.toNtt(ring);
+    };
+    for (EvkKey &evk : keys_.evks) {
+        for (BfvCiphertext &row : evk.rows)
+            toNttOnce(row);
+    }
+    for (BfvCiphertext &row : keys_.rgswOfSecret.rows)
+        toNttOnce(row);
+
     for (int t = 0; t < params_.expansionDepth(); ++t) {
         monomials_.push_back(RnsPoly::monomialNtt(
             ctx_.ring(), -static_cast<i64>(u64{1} << t)));
+        // Shoup companions for the fixed monomial multiplicand.
+        AlignedU64Vec shoup(ring.words());
+        for (int p = 0; p < ring.k(); ++p) {
+            const Modulus &mod = ring.base.modulus(p);
+            std::span<const u64> plane = monomials_.back().residues(p);
+            for (u64 i = 0; i < ring.n; ++i)
+                shoup[static_cast<u64>(p) * ring.n + i] =
+                    mod.shoupPrecompute(plane[i]);
+        }
+        monomialShoup_.push_back(std::move(shoup));
     }
 }
 
@@ -83,7 +114,8 @@ PirServer::expandQuery(const PirQuery &query) const
                 // Odd branch: X^{-2^t} * (ct - Subs(ct, r)).
                 BfvCiphertext odd = node.ct;
                 subInPlace(ctx_, odd, *rotated);
-                monomialMulInPlace(ctx_, odd, monomials_[t]);
+                monomialMulInPlace(ctx_, odd, monomials_[t],
+                                   monomialShoup_[t]);
                 next[slot + 1] = {std::move(odd), odd_idx};
             }
             // Even branch, in place: ct + Subs(ct, N/2^t + 1).

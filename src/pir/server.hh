@@ -32,6 +32,7 @@
 
 #include <atomic>
 
+#include "common/align.hh"
 #include "pir/client.hh"
 #include "pir/database.hh"
 #include "pir/schedule.hh"
@@ -196,6 +197,9 @@ class PirServer
     const Database *db_;
     PirPublicKeys keys_;
     std::vector<RnsPoly> monomials_; ///< NTT(X^{-2^t}) per tree level.
+    /** x2^64 Shoup companions of monomials_, prime-major k*n words:
+     *  the expansion's odd-branch multiplies skip Barrett entirely. */
+    std::vector<AlignedU64Vec> monomialShoup_;
     mutable ServerCounters counters_;
 };
 

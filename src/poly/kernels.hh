@@ -1,35 +1,38 @@
 /**
  * @file
- * Lazy-reduction compute kernels for the polynomial hot path.
+ * Kernel entry points for the polynomial hot path.
  *
- * IVE's hardware argument (paper SIV) is that with 28-bit evaluation
- * primes the modular reductions around each butterfly/MAC are nearly
- * free; this layer is the software analogue. Two families:
+ * IVE's hardware argument (paper SIV) is that one versatile datapath
+ * serves every hot kernel — NTT butterflies, dyadic MACs, automorphism
+ * permutations; our software analogue routes all of them through one
+ * runtime-resolved ISA dispatch table (poly/simd/simd.hh): scalar,
+ * AVX2, or AVX-512 (+IFMA butterflies), selected once per process by
+ * cpuid or the IVE_FORCE_ISA override. Every backend produces
+ * bit-identical canonical outputs, so responses stay byte-identical to
+ * the committed goldens under any backend.
+ *
+ * Two value-range families survive from the lazy-reduction redesign:
  *
  *  - Harvey-style lazy NTT butterflies: intermediate values live in
  *    [0, 4q) (forward) / [0, 2q) (inverse) and are canonicalized to
  *    [0, q) once, in a single final pass, instead of per butterfly.
- *    Valid for every modulus this repo admits (q < 2^62, so 4q fits a
- *    u64 and the Shoup product bound r < 2q fits as well).
+ *    Dispatched via NttTable::forward/inverse, not this header.
  *
  *  - Fused dyadic multiply-accumulate: when q < 2^32 each product of
  *    canonical residues fits in 64 bits, so a u128 accumulator absorbs
- *    up to 2^64 terms without overflow and Barrett reduction is paid
- *    once per output word per *chain* (the D0-long plainMulAcc chains
- *    of RowSel, the 2l-row sums of the external product) instead of
- *    once per product. Larger test primes fall back to the strict
- *    per-product kernels.
+ *    up to 2^32 terms without overflow (the vector backends fold the
+ *    accumulator high word with a 2^64 mod q multiply, which caps the
+ *    chain length — far above the D0-long RowSel chains and 2l-row
+ *    external-product sums) and Barrett reduction is paid once per
+ *    output word per *chain*. Larger test primes fall back to the
+ *    strict per-product kernels.
  *
- * Every kernel takes canonical inputs (< q) and produces canonical
- * outputs, and computes the same value mod q as the strict reference —
- * responses stay byte-identical to the pre-lazy pipeline (the committed
- * golden fixtures pin this). The strict kernels are kept callable for
- * differential tests and before/after microbenchmarks.
+ * The strict NTT reference transforms are kept inline here for
+ * differential tests and before/after microbenchmarks; they are not
+ * dispatched.
  *
- * This header depends only on modmath (no poly/ntt types), so the ntt
- * module can use the butterfly kernels without a link cycle: the NTT
- * kernels are inline here, the vector/MAC kernels live in kernels.cc
- * (compiled into ive_poly, whose consumers are the only callers).
+ * This header depends only on modmath and the simd table, so the ntt
+ * module can use it without a link cycle.
  */
 
 #ifndef IVE_POLY_KERNELS_HH
@@ -39,6 +42,7 @@
 
 #include "common/types.hh"
 #include "modmath/modulus.hh"
+#include "poly/simd/simd.hh"
 
 namespace ive::kernels {
 
@@ -56,87 +60,11 @@ mulShoupLazy(u64 a, u64 b, u64 b_shoup, u64 q)
     return a * b - approx * q;
 }
 
-// --- negacyclic NTT butterflies --------------------------------------
+// --- strict negacyclic NTT reference ---------------------------------
 //
 // Twiddle tables are in bit-reversed order with Shoup companions,
 // exactly as NttTable stores them; a.size() is the (power-of-two) ring
-// degree. Lazy and strict variants compute identical outputs.
-
-/** Forward CT butterflies, values in [0, 4q), one final canonical pass. */
-inline void
-nttForwardLazy(std::span<u64> a, const Modulus &mod,
-               std::span<const u64> tw, std::span<const u64> tw_shoup)
-{
-    const u64 q = mod.value();
-    const u64 two_q = 2 * q;
-    const u64 n = a.size();
-    u64 t = n;
-    for (u64 m = 1; m < n; m <<= 1) {
-        t >>= 1;
-        for (u64 i = 0; i < m; ++i) {
-            const u64 w = tw[m + i];
-            const u64 ws = tw_shoup[m + i];
-            u64 *x = a.data() + 2 * i * t;
-            u64 *y = x + t;
-            for (u64 j = 0; j < t; ++j) {
-                // Invariant: inputs < 4q. u drops to [0, 2q), the Shoup
-                // product lands in [0, 2q), so both outputs stay < 4q.
-                u64 u = x[j];
-                if (u >= two_q)
-                    u -= two_q;
-                u64 v = mulShoupLazy(y[j], w, ws, q);
-                x[j] = u + v;
-                y[j] = u + two_q - v;
-            }
-        }
-    }
-    for (u64 j = 0; j < n; ++j) {
-        u64 v = a[j];
-        if (v >= two_q)
-            v -= two_q;
-        if (v >= q)
-            v -= q;
-        a[j] = v;
-    }
-}
-
-/** Inverse GS butterflies, values in [0, 2q), n^-1 folded at the end. */
-inline void
-nttInverseLazy(std::span<u64> a, const Modulus &mod,
-               std::span<const u64> tw, std::span<const u64> tw_shoup,
-               u64 n_inv, u64 n_inv_shoup)
-{
-    const u64 q = mod.value();
-    const u64 two_q = 2 * q;
-    const u64 n = a.size();
-    u64 t = 1;
-    for (u64 m = n; m > 1; m >>= 1) {
-        u64 j1 = 0;
-        u64 h = m >> 1;
-        for (u64 i = 0; i < h; ++i) {
-            const u64 w = tw[h + i];
-            const u64 ws = tw_shoup[h + i];
-            u64 *x = a.data() + j1;
-            u64 *y = x + t;
-            for (u64 j = 0; j < t; ++j) {
-                // Invariant: inputs < 2q, so u + v < 4q and the
-                // difference argument u + 2q - v is < 4q as well; both
-                // outputs return to [0, 2q).
-                u64 u = x[j];
-                u64 v = y[j];
-                u64 s = u + v;
-                x[j] = s >= two_q ? s - two_q : s;
-                y[j] = mulShoupLazy(u + two_q - v, w, ws, q);
-            }
-            j1 += 2 * t;
-        }
-        t <<= 1;
-    }
-    for (u64 j = 0; j < n; ++j) {
-        u64 v = mulShoupLazy(a[j], n_inv, n_inv_shoup, q);
-        a[j] = v >= q ? v - q : v;
-    }
-}
+// degree. The dispatched lazy transforms compute identical outputs.
 
 /** Strict reference forward transform (canonical after each butterfly). */
 inline void
@@ -195,22 +123,61 @@ nttInverseStrict(std::span<u64> a, const Modulus &mod,
 }
 
 // --- element-wise vector kernels (canonical in, canonical out) -------
+//
+// Thin forwarders into the active ISA table; see simd.hh for the
+// per-kernel contracts.
 
-void addVec(u64 *dst, const u64 *src, u64 n, u64 q);
-void subVec(u64 *dst, const u64 *src, u64 n, u64 q);
-void negVec(u64 *dst, u64 n, u64 q);
-void mulVec(u64 *dst, const u64 *src, u64 n, const Modulus &mod);
+inline void
+addVec(u64 *dst, const u64 *src, u64 n, u64 q)
+{
+    simd::active().addVec(dst, src, n, q);
+}
 
-/** Strict dst[i] += a[i] * b[i] mod q (one Barrett per element). */
-void mulAccVec(u64 *dst, const u64 *a, const u64 *b, u64 n,
-               const Modulus &mod);
+inline void
+subVec(u64 *dst, const u64 *src, u64 n, u64 q)
+{
+    simd::active().subVec(dst, src, n, q);
+}
+
+inline void
+negVec(u64 *dst, u64 n, u64 q)
+{
+    simd::active().negVec(dst, n, q);
+}
+
+inline void
+mulVec(u64 *dst, const u64 *src, u64 n, const Modulus &mod)
+{
+    simd::active().mulVec(dst, src, n, mod);
+}
+
+/** dst[i] = dst[i] * b[i] mod q with precomputed x2^64 companions. */
+inline void
+mulShoupVec(u64 *dst, const u64 *b, const u64 *b_shoup, u64 n, u64 q)
+{
+    simd::active().mulShoupVec(dst, b, b_shoup, n, q);
+}
+
+/** Strict dst[i] += a[i] * b[i] mod q (one reduction per element). */
+inline void
+mulAccVec(u64 *dst, const u64 *a, const u64 *b, u64 n, const Modulus &mod)
+{
+    simd::active().mulAccVec(dst, a, b, n, mod);
+}
+
+/** Applies a (pos << 1 | flip) permutation map to one residue plane. */
+inline void
+applyCoeffMapVec(u64 *dst, const u64 *src, const u64 *map, u64 n, u64 q)
+{
+    simd::active().applyCoeffMap(dst, src, map, n, q);
+}
 
 // --- fused lazy multiply-accumulate ----------------------------------
 
 /**
  * True when canonical products fit 64 bits, so a u128 accumulator can
- * absorb any chain this codebase produces (up to 2^64 terms) with a
- * single deferred Barrett reduction per output word.
+ * absorb any chain this codebase produces with a single deferred
+ * Barrett reduction per output word.
  */
 inline bool
 fusedMacOk(const Modulus &mod)
@@ -218,14 +185,30 @@ fusedMacOk(const Modulus &mod)
     return mod.value() < (u64{1} << 32);
 }
 
-/** acc[i] += a[i] * b[i] as raw u128 sums (no reduction). */
-void macAccumulate(u128 *acc, const u64 *a, const u64 *b, u64 n);
+/**
+ * acc[i] += a[i] * b[i] as raw u128 sums (no reduction). Inputs must
+ * be < 2^32 (the fused-MAC policy only engages below 32-bit moduli);
+ * the vector backends compute single-instruction 32x32 products.
+ */
+inline void
+macAccumulate(u128 *acc, const u64 *a, const u64 *b, u64 n)
+{
+    simd::active().macAccumulate(acc, a, b, n);
+}
 
 /** dst[i] = acc[i] mod q: the single deferred reduction of a chain. */
-void macReduce(u64 *dst, const u128 *acc, u64 n, const Modulus &mod);
+inline void
+macReduce(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
+{
+    simd::active().macReduce(dst, acc, n, mod);
+}
 
 /** dst[i] = dst[i] + (acc[i] mod q) mod q. */
-void macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod);
+inline void
+macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
+{
+    simd::active().macReduceAdd(dst, acc, n, mod);
+}
 
 // --- per-plane MAC-chain dispatch ------------------------------------
 //

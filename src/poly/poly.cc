@@ -153,11 +153,7 @@ RnsPoly::applyCoeffMap(const Ring &ring, std::span<const u64> map,
         u64 q = ring.base.modulus(p).value();
         const u64 *src = data_.data() + idx(p, 0);
         u64 *dst = out.data_.data() + out.idx(p, 0);
-        for (u64 i = 0; i < n_; ++i) {
-            u64 m = map[i];
-            u64 v = src[i];
-            dst[m >> 1] = (m & 1) ? (v == 0 ? 0 : q - v) : v;
-        }
+        kernels::applyCoeffMapVec(dst, src, map.data(), n_, q);
     }
 }
 

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "common/align.hh"
 #include "common/rng.hh"
 #include "common/serialize.hh"
 #include "common/types.hh"
@@ -151,7 +152,10 @@ class RnsPoly
     u64 n_ = 0;
     int k_ = 0;
     Domain domain_ = Domain::Coeff;
-    std::vector<u64> data_;
+    // Cache-line aligned so residue planes feed full-width vector
+    // loads (the SIMD kernels tolerate unaligned data; alignment is a
+    // performance contract, see common/align.hh).
+    AlignedU64Vec data_;
 };
 
 /** Wire encoding: domain byte, then k*n residue words (prime-major). */

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Shared fused small-t NTT tail for the AVX-512 translation units.
+ *
+ * Internal header: included only by kernels_avx512.cc and
+ * kernels_avx512ifma.cc (both compiled with AVX-512 flags). The
+ * butterfly math is injected as a callable so the generic 2^64-Shoup
+ * and the IFMA 2^52-Shoup variants share the chunk/permute/twiddle
+ * machinery.
+ */
+
+#ifndef IVE_POLY_SIMD_AVX512_TAIL_HH
+#define IVE_POLY_SIMD_AVX512_TAIL_HH
+
+#include <immintrin.h>
+
+#include "poly/simd/simd.hh"
+
+namespace ive::simd::avx512tail {
+
+// --- fused small-t NTT tail ------------------------------------------
+//
+// The three stages with butterfly width t = 4, 2, 1 touch every
+// element once each but have too few contiguous lanes for the plain
+// vector loop; running them scalar costs more than all the wide stages
+// combined. Instead, each 16-element chunk is held in two registers
+// across all three stages, with per-stage cross-lane permutes
+// gathering the x/y halves and twiddle replication matching the block
+// structure (chunk c covers blocks [2c, 2c+2) at t = 4, [4c, 4c+4) at
+// t = 2, [8c, 8c+8) at t = 1 — twiddles are contiguous in the
+// bit-reversed tables). Shared by the generic and IFMA TUs via the
+// butterfly functor.
+
+struct TailIdx
+{
+    __m512i extA4, extB4;     // t=4 gather (also its own merge inverse)
+    __m512i extA2, extB2, mergeA2, mergeB2;
+    __m512i extA1, extB1, mergeA1, mergeB1;
+    __m512i rep4, rep2;       // twiddle replication patterns
+};
+
+inline TailIdx
+tailIdx()
+{
+    TailIdx ix;
+    ix.extA4 = _mm512_setr_epi64(0, 1, 2, 3, 8, 9, 10, 11);
+    ix.extB4 = _mm512_setr_epi64(4, 5, 6, 7, 12, 13, 14, 15);
+    ix.extA2 = _mm512_setr_epi64(0, 1, 4, 5, 8, 9, 12, 13);
+    ix.extB2 = _mm512_setr_epi64(2, 3, 6, 7, 10, 11, 14, 15);
+    ix.mergeA2 = _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11);
+    ix.mergeB2 = _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15);
+    ix.extA1 = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+    ix.extB1 = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+    ix.mergeA1 = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
+    ix.mergeB1 = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
+    ix.rep4 = _mm512_setr_epi64(0, 0, 0, 0, 1, 1, 1, 1);
+    ix.rep2 = _mm512_setr_epi64(0, 0, 1, 1, 2, 2, 3, 3);
+    return ix;
+}
+
+/** Twiddle pair for one tail stage of chunk c; words per chunk: 2 at
+ *  t=4 (replicated x4), 4 at t=2 (x2), 8 at t=1 (direct load). */
+inline __m512i
+tailTw2(const u64 *base, __m512i rep)
+{
+    return _mm512_permutexvar_epi64(
+        rep, _mm512_castsi128_si512(_mm_loadu_si128(
+                 reinterpret_cast<const __m128i *>(base))));
+}
+
+inline __m512i
+tailTw4(const u64 *base, __m512i rep)
+{
+    return _mm512_permutexvar_epi64(
+        rep, _mm512_castsi256_si512(_mm256_loadu_si256(
+                 reinterpret_cast<const __m256i *>(base))));
+}
+
+/**
+ * Forward butterflies for stages t = 4, 2, 1 over the whole vector
+ * (n >= 16). Butterfly is a callable (x, y, w, ws) -> writes nx, ny.
+ */
+template <typename Butterfly>
+inline void
+fwdTailStages(u64 *a, u64 n, const u64 *tw, const u64 *tws,
+              Butterfly &&bf)
+{
+    const TailIdx ix = tailIdx();
+    for (u64 c = 0; c < n / 16; ++c) {
+        u64 *p = a + 16 * c;
+        __m512i za = _mm512_loadu_si512(p);
+        __m512i zb = _mm512_loadu_si512(p + 8);
+        __m512i nx, ny;
+        // t = 4 (stage m = n/8): blocks 2c, 2c+1.
+        bf(_mm512_permutex2var_epi64(za, ix.extA4, zb),
+           _mm512_permutex2var_epi64(za, ix.extB4, zb),
+           tailTw2(tw + n / 8 + 2 * c, ix.rep4),
+           tailTw2(tws + n / 8 + 2 * c, ix.rep4), nx, ny);
+        za = _mm512_permutex2var_epi64(nx, ix.extA4, ny);
+        zb = _mm512_permutex2var_epi64(nx, ix.extB4, ny);
+        // t = 2 (stage m = n/4): blocks 4c .. 4c+3.
+        bf(_mm512_permutex2var_epi64(za, ix.extA2, zb),
+           _mm512_permutex2var_epi64(za, ix.extB2, zb),
+           tailTw4(tw + n / 4 + 4 * c, ix.rep2),
+           tailTw4(tws + n / 4 + 4 * c, ix.rep2), nx, ny);
+        za = _mm512_permutex2var_epi64(nx, ix.mergeA2, ny);
+        zb = _mm512_permutex2var_epi64(nx, ix.mergeB2, ny);
+        // t = 1 (stage m = n/2): blocks 8c .. 8c+7.
+        bf(_mm512_permutex2var_epi64(za, ix.extA1, zb),
+           _mm512_permutex2var_epi64(za, ix.extB1, zb),
+           _mm512_loadu_si512(tw + n / 2 + 8 * c),
+           _mm512_loadu_si512(tws + n / 2 + 8 * c), nx, ny);
+        za = _mm512_permutex2var_epi64(nx, ix.mergeA1, ny);
+        zb = _mm512_permutex2var_epi64(nx, ix.mergeB1, ny);
+        _mm512_storeu_si512(p, za);
+        _mm512_storeu_si512(p + 8, zb);
+    }
+}
+
+/** Inverse butterflies for stages t = 1, 2, 4 (n >= 16), same chunk
+ *  and twiddle layout as the forward tail, reverse stage order. */
+template <typename Butterfly>
+inline void
+invTailStages(u64 *a, u64 n, const u64 *tw, const u64 *tws,
+              Butterfly &&bf)
+{
+    const TailIdx ix = tailIdx();
+    for (u64 c = 0; c < n / 16; ++c) {
+        u64 *p = a + 16 * c;
+        __m512i za = _mm512_loadu_si512(p);
+        __m512i zb = _mm512_loadu_si512(p + 8);
+        __m512i nx, ny;
+        // t = 1 (h = n/2).
+        bf(_mm512_permutex2var_epi64(za, ix.extA1, zb),
+           _mm512_permutex2var_epi64(za, ix.extB1, zb),
+           _mm512_loadu_si512(tw + n / 2 + 8 * c),
+           _mm512_loadu_si512(tws + n / 2 + 8 * c), nx, ny);
+        za = _mm512_permutex2var_epi64(nx, ix.mergeA1, ny);
+        zb = _mm512_permutex2var_epi64(nx, ix.mergeB1, ny);
+        // t = 2 (h = n/4).
+        bf(_mm512_permutex2var_epi64(za, ix.extA2, zb),
+           _mm512_permutex2var_epi64(za, ix.extB2, zb),
+           tailTw4(tw + n / 4 + 4 * c, ix.rep2),
+           tailTw4(tws + n / 4 + 4 * c, ix.rep2), nx, ny);
+        za = _mm512_permutex2var_epi64(nx, ix.mergeA2, ny);
+        zb = _mm512_permutex2var_epi64(nx, ix.mergeB2, ny);
+        // t = 4 (h = n/8).
+        bf(_mm512_permutex2var_epi64(za, ix.extA4, zb),
+           _mm512_permutex2var_epi64(za, ix.extB4, zb),
+           tailTw2(tw + n / 8 + 2 * c, ix.rep4),
+           tailTw2(tws + n / 8 + 2 * c, ix.rep4), nx, ny);
+        za = _mm512_permutex2var_epi64(nx, ix.extA4, ny);
+        zb = _mm512_permutex2var_epi64(nx, ix.extB4, ny);
+        _mm512_storeu_si512(p, za);
+        _mm512_storeu_si512(p + 8, zb);
+    }
+}
+
+
+} // namespace ive::simd::avx512tail
+
+#endif // IVE_POLY_SIMD_AVX512_TAIL_HH

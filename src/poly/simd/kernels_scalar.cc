@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Scalar backend: the portable reference every vector backend must
+ * match bit-for-bit on canonical outputs. These are the PR-4
+ * lazy-reduction kernels, relocated behind the dispatch table; the
+ * vector TUs also call them for loop tails and fallback modulus
+ * classes.
+ */
+
+#include "common/logging.hh"
+#include "poly/kernels.hh"
+#include "poly/simd/backends.hh"
+
+namespace ive::simd::scalar {
+
+void
+nttForwardLazy(u64 *a, u64 n, const Modulus &mod, const NttTwiddles &tb)
+{
+    const u64 q = mod.value();
+    const u64 *tw = tb.tw;
+    const u64 *tws = tb.twShoup;
+    u64 t = n;
+    for (u64 m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (u64 i = 0; i < m; ++i) {
+            u64 *x = a + 2 * i * t;
+            scalarFwdButterflyBlock(x, x + t, t, tw[m + i], tws[m + i],
+                                    q);
+        }
+    }
+    canonicalizeVec(a, n, q);
+}
+
+void
+nttInverseLazy(u64 *a, u64 n, const Modulus &mod, const NttTwiddles &tb,
+               u64 n_inv, u64 n_inv_shoup, u64 /*n_inv_shoup52*/)
+{
+    const u64 q = mod.value();
+    const u64 *tw = tb.tw;
+    const u64 *tws = tb.twShoup;
+    u64 t = 1;
+    for (u64 m = n; m > 1; m >>= 1) {
+        u64 j1 = 0;
+        u64 h = m >> 1;
+        for (u64 i = 0; i < h; ++i) {
+            u64 *x = a + j1;
+            scalarInvButterflyBlock(x, x + t, t, tw[h + i], tws[h + i],
+                                    q);
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (u64 j = 0; j < n; ++j) {
+        u64 v = kernels::mulShoupLazy(a[j], n_inv, n_inv_shoup, q);
+        a[j] = v >= q ? v - q : v;
+    }
+}
+
+void
+addVec(u64 *dst, const u64 *src, u64 n, u64 q)
+{
+    for (u64 i = 0; i < n; ++i) {
+        u64 s = dst[i] + src[i];
+        dst[i] = s >= q ? s - q : s;
+    }
+}
+
+void
+subVec(u64 *dst, const u64 *src, u64 n, u64 q)
+{
+    for (u64 i = 0; i < n; ++i) {
+        u64 a = dst[i], b = src[i];
+        dst[i] = a >= b ? a - b : a + q - b;
+    }
+}
+
+void
+negVec(u64 *dst, u64 n, u64 q)
+{
+    for (u64 i = 0; i < n; ++i)
+        dst[i] = dst[i] == 0 ? 0 : q - dst[i];
+}
+
+void
+mulVec(u64 *dst, const u64 *src, u64 n, const Modulus &mod)
+{
+    for (u64 i = 0; i < n; ++i)
+        dst[i] = mod.mul(dst[i], src[i]);
+}
+
+void
+mulShoupVec(u64 *dst, const u64 *b, const u64 *b_shoup, u64 n, u64 q)
+{
+    for (u64 i = 0; i < n; ++i) {
+        u64 r = kernels::mulShoupLazy(dst[i], b[i], b_shoup[i], q);
+        dst[i] = r >= q ? r - q : r;
+    }
+}
+
+void
+canonicalizeVec(u64 *a, u64 n, u64 q)
+{
+    const u64 two_q = 2 * q;
+    for (u64 j = 0; j < n; ++j) {
+        u64 v = a[j];
+        if (v >= two_q)
+            v -= two_q;
+        if (v >= q)
+            v -= q;
+        a[j] = v;
+    }
+}
+
+void
+mulAccVec(u64 *dst, const u64 *a, const u64 *b, u64 n, const Modulus &mod)
+{
+    const u64 q = mod.value();
+    for (u64 i = 0; i < n; ++i) {
+        u64 s = dst[i] + mod.mul(a[i], b[i]);
+        dst[i] = s >= q ? s - q : s;
+    }
+}
+
+void
+macAccumulate(u128 *acc, const u64 *a, const u64 *b, u64 n)
+{
+    for (u64 i = 0; i < n; ++i)
+        acc[i] += static_cast<u128>(a[i]) * b[i];
+}
+
+void
+macReduce(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
+{
+    for (u64 i = 0; i < n; ++i)
+        dst[i] = mod.reduce(acc[i]);
+}
+
+void
+macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
+{
+    const u64 q = mod.value();
+    for (u64 i = 0; i < n; ++i) {
+        u64 s = dst[i] + mod.reduce(acc[i]);
+        dst[i] = s >= q ? s - q : s;
+    }
+}
+
+void
+applyCoeffMap(u64 *dst, const u64 *src, const u64 *map, u64 n, u64 q)
+{
+    for (u64 i = 0; i < n; ++i) {
+        u64 m = map[i];
+        u64 v = src[i];
+        dst[m >> 1] = (m & 1) ? (v == 0 ? 0 : q - v) : v;
+    }
+}
+
+} // namespace ive::simd::scalar
+
+namespace ive::simd {
+
+const Kernels kScalarKernels = {
+    Isa::Scalar,
+    "scalar",
+    &scalar::nttForwardLazy,
+    &scalar::nttInverseLazy,
+    &scalar::addVec,
+    &scalar::subVec,
+    &scalar::negVec,
+    &scalar::mulVec,
+    &scalar::mulShoupVec,
+    &scalar::canonicalizeVec,
+    &scalar::mulAccVec,
+    &scalar::macAccumulate,
+    &scalar::macReduce,
+    &scalar::macReduceAdd,
+    &scalar::applyCoeffMap,
+};
+
+} // namespace ive::simd

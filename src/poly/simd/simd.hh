@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD backends for the polynomial hot kernels.
+ *
+ * IVE's versatile processing element serves NTT butterflies, dyadic
+ * MACs and automorphism permutations from one datapath (paper SIII);
+ * this layer is the software analogue: one dispatch table routes every
+ * hot kernel to the widest vector unit the CPU offers. Three backends:
+ *
+ *  - scalar  : portable reference, bit-for-bit the PR-4 kernels
+ *  - avx2    : 4-lane u64 ops; 64x64 products via 2x32-bit vpmuludq
+ *              splits (no 64-bit multiplier on AVX2)
+ *  - avx512  : 8-lane u64 ops (needs AVX-512 F + DQ for vpmullq);
+ *              when the CPU also has AVX-512 IFMA and the modulus fits
+ *              the 52-bit datapath (q < 2^50), the NTT butterflies run
+ *              Shoup multiplies on the vpmadd52 52-bit multipliers
+ *              using the x2^52 companion twiddles NttTable precomputes
+ *
+ * Every backend computes bit-identical canonical outputs for the same
+ * inputs (lazy intermediates may differ by multiples of q; the final
+ * canonicalization erases the difference), so serving responses stay
+ * byte-identical to the committed goldens under any backend —
+ * tests/test_simd.cc sweeps all of them against scalar.
+ *
+ * Selection happens once, at first use: cpuid-derived feature bits
+ * (via __builtin_cpu_supports, which also honors OS XSAVE state) pick
+ * the best runnable backend; the IVE_FORCE_ISA=scalar|avx2|avx512
+ * environment variable overrides it (aborting loudly if the forced ISA
+ * cannot run on this CPU, so a misconfigured CI run cannot silently
+ * pass on the wrong backend). The per-ISA implementations live in
+ * separate translation units compiled with per-file -m flags, so the
+ * binary itself runs on any x86-64 (non-x86 builds get scalar only).
+ */
+
+#ifndef IVE_POLY_SIMD_SIMD_HH
+#define IVE_POLY_SIMD_SIMD_HH
+
+#include "common/types.hh"
+#include "modmath/modulus.hh"
+
+namespace ive::simd {
+
+enum class Isa
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+const char *isaName(Isa isa);
+
+/**
+ * Twiddle bundle a transform hands its backend: bit-reversed twiddles
+ * with their x2^64 Shoup companions, plus the x2^52 companions when
+ * the modulus fits the IFMA datapath (null otherwise — backends that
+ * cannot use them ignore the field).
+ */
+struct NttTwiddles
+{
+    const u64 *tw = nullptr;
+    const u64 *twShoup = nullptr;
+    const u64 *twShoup52 = nullptr;
+};
+
+/**
+ * The dispatch table: one function pointer per hot kernel. All
+ * functions take canonical inputs and produce canonical outputs
+ * identical to the scalar reference; lazy NTT entries do their own
+ * final canonicalization.
+ */
+struct Kernels
+{
+    Isa isa = Isa::Scalar;
+    const char *name = "scalar";
+
+    /** Forward Harvey lazy CT butterflies + final canonical pass. */
+    void (*nttForwardLazy)(u64 *a, u64 n, const Modulus &mod,
+                           const NttTwiddles &t);
+    /** Inverse lazy GS butterflies, n^-1 fold, canonical output. */
+    void (*nttInverseLazy)(u64 *a, u64 n, const Modulus &mod,
+                           const NttTwiddles &t, u64 n_inv,
+                           u64 n_inv_shoup, u64 n_inv_shoup52);
+
+    // Element-wise canonical vector ops.
+    void (*addVec)(u64 *dst, const u64 *src, u64 n, u64 q);
+    void (*subVec)(u64 *dst, const u64 *src, u64 n, u64 q);
+    void (*negVec)(u64 *dst, u64 n, u64 q);
+    void (*mulVec)(u64 *dst, const u64 *src, u64 n, const Modulus &mod);
+    /** dst[i] = dst[i] * b[i] mod q with per-element x2^64 companions. */
+    void (*mulShoupVec)(u64 *dst, const u64 *b, const u64 *b_shoup,
+                        u64 n, u64 q);
+    /** Canonicalizes values in [0, 4q) down to [0, q). */
+    void (*canonicalizeVec)(u64 *a, u64 n, u64 q);
+    /** Strict dst[i] += a[i] * b[i] mod q. */
+    void (*mulAccVec)(u64 *dst, const u64 *a, const u64 *b, u64 n,
+                      const Modulus &mod);
+
+    // Fused u128 MAC chain (see poly/kernels.hh for the chain policy).
+    /** acc[i] += a[i] * b[i] as raw u128 sums (no reduction). */
+    void (*macAccumulate)(u128 *acc, const u64 *a, const u64 *b, u64 n);
+    /**
+     * dst[i] = acc[i] mod q. Vector backends assume every chain this
+     * codebase produces: acc[i] >> 64 < 2^32 (at most 2^32 products of
+     * 64-bit values — RowSel columns are D0 long, key-switch sums 2l).
+     */
+    void (*macReduce)(u64 *dst, const u128 *acc, u64 n,
+                      const Modulus &mod);
+    /** dst[i] = dst[i] + (acc[i] mod q) mod q, same contract. */
+    void (*macReduceAdd)(u64 *dst, const u128 *acc, u64 n,
+                         const Modulus &mod);
+
+    /**
+     * Prime-major automorphism / monomial permutation: for each i,
+     * dst[map[i] >> 1] = (map[i] & 1) ? q - src[i] (0 stays 0)
+     *                                 : src[i],
+     * with map a (pos << 1 | flip) bijection on [0, n) as built by
+     * RnsPoly::automorphismMap. dst must not alias src.
+     */
+    void (*applyCoeffMap)(u64 *dst, const u64 *src, const u64 *map,
+                          u64 n, u64 q);
+};
+
+/**
+ * The backend table for one ISA, or null when this CPU cannot run it
+ * (or the binary was built without that TU). The avx512 table is
+ * returned with its IFMA butterfly variants already patched in when
+ * the CPU supports AVX-512 IFMA.
+ */
+const Kernels *backend(Isa isa);
+
+/** Best ISA this CPU can run among the compiled-in backends. */
+Isa bestSupportedIsa();
+
+/**
+ * True when the IFMA butterflies are compiled in and runnable here:
+ * NttTable only spends memory on x2^52 companion twiddles when some
+ * backend could actually consume them.
+ */
+bool ifmaButterfliesAvailable();
+
+/**
+ * The active table: resolved once on first use from bestSupportedIsa()
+ * or IVE_FORCE_ISA, then immutable (safe to read from any thread).
+ */
+const Kernels &active();
+
+} // namespace ive::simd
+
+#endif // IVE_POLY_SIMD_SIMD_HH

@@ -107,12 +107,12 @@ PolyWorkspace::givePolyVec(std::vector<RnsPoly> &&polys)
     freeVecs_.push_back(std::move(polys));
 }
 
-std::vector<u128>
+AlignedU128Vec
 PolyWorkspace::takeAcc(u64 words)
 {
     for (size_t i = freeAccs_.size(); i-- > 0;) {
         if (freeAccs_[i].capacity() >= words) {
-            std::vector<u128> buf = std::move(freeAccs_[i]);
+            AlignedU128Vec buf = std::move(freeAccs_[i]);
             freeAccs_.erase(freeAccs_.begin() +
                             static_cast<ptrdiff_t>(i));
             bump(g_buf_reuses);
@@ -121,25 +121,25 @@ PolyWorkspace::takeAcc(u64 words)
         }
     }
     bump(g_buf_allocs);
-    std::vector<u128> buf;
+    AlignedU128Vec buf;
     buf.assign(words, 0);
     return buf;
 }
 
 void
-PolyWorkspace::giveAcc(std::vector<u128> &&buf)
+PolyWorkspace::giveAcc(AlignedU128Vec &&buf)
 {
     if (buf.capacity() == 0)
         return;
     freeAccs_.push_back(std::move(buf));
 }
 
-std::vector<u64>
+AlignedU64Vec
 PolyWorkspace::takeWords(u64 count)
 {
     for (size_t i = freeWords_.size(); i-- > 0;) {
         if (freeWords_[i].capacity() >= count) {
-            std::vector<u64> buf = std::move(freeWords_[i]);
+            AlignedU64Vec buf = std::move(freeWords_[i]);
             freeWords_.erase(freeWords_.begin() +
                              static_cast<ptrdiff_t>(i));
             bump(g_buf_reuses);
@@ -148,12 +148,12 @@ PolyWorkspace::takeWords(u64 count)
         }
     }
     bump(g_buf_allocs);
-    std::vector<u64> buf(count);
+    AlignedU64Vec buf(count);
     return buf;
 }
 
 void
-PolyWorkspace::giveWords(std::vector<u64> &&buf)
+PolyWorkspace::giveWords(AlignedU64Vec &&buf)
 {
     if (buf.capacity() == 0)
         return;

@@ -25,6 +25,8 @@
 
 #include <vector>
 
+#include "common/align.hh"
+#include "common/logging.hh"
 #include "poly/poly.hh"
 
 namespace ive {
@@ -57,13 +59,17 @@ class PolyWorkspace
                                      u64 count);
     void givePolyVec(std::vector<RnsPoly> &&polys);
 
-    /** Zero-filled u128 MAC accumulator of `words` elements. */
-    std::vector<u128> takeAcc(u64 words);
-    void giveAcc(std::vector<u128> &&buf);
+    /**
+     * Zero-filled u128 MAC accumulator of `words` elements, 64-byte
+     * aligned so the vector MAC kernels stream it at full width.
+     */
+    AlignedU128Vec takeAcc(u64 words);
+    void giveAcc(AlignedU128Vec &&buf);
 
-    /** u64 scratch of `count` elements (contents unspecified). */
-    std::vector<u64> takeWords(u64 count);
-    void giveWords(std::vector<u64> &&buf);
+    /** 64-byte-aligned u64 scratch of `count` elements (contents
+     *  unspecified). */
+    AlignedU64Vec takeWords(u64 count);
+    void giveWords(AlignedU64Vec &&buf);
 
   private:
     PolyWorkspace() = default;
@@ -80,8 +86,8 @@ class PolyWorkspace
 
     std::vector<Shelf> shelves_;
     std::vector<std::vector<RnsPoly>> freeVecs_;
-    std::vector<std::vector<u128>> freeAccs_;
-    std::vector<std::vector<u64>> freeWords_;
+    std::vector<AlignedU128Vec> freeAccs_;
+    std::vector<AlignedU64Vec> freeWords_;
 };
 
 /** RAII lease of one workspace polynomial. */
@@ -127,13 +133,15 @@ class PolyVecLease
     std::vector<RnsPoly> polys_;
 };
 
-/** RAII lease of a zero-filled u128 accumulator. */
+/** RAII lease of a zero-filled, cache-line-aligned u128 accumulator. */
 class AccLease
 {
   public:
     AccLease(PolyWorkspace &ws, u64 words)
         : ws_(&ws), buf_(ws.takeAcc(words))
     {
+        ive_assert(isCacheAligned(buf_.data()),
+                   "workspace accumulator lost cache-line alignment");
     }
     ~AccLease() { ws_->giveAcc(std::move(buf_)); }
 
@@ -144,16 +152,18 @@ class AccLease
 
   private:
     PolyWorkspace *ws_;
-    std::vector<u128> buf_;
+    AlignedU128Vec buf_;
 };
 
-/** RAII lease of u64 scratch. */
+/** RAII lease of cache-line-aligned u64 scratch. */
 class WordLease
 {
   public:
     WordLease(PolyWorkspace &ws, u64 count)
         : ws_(&ws), buf_(ws.takeWords(count))
     {
+        ive_assert(isCacheAligned(buf_.data()),
+                   "workspace scratch lost cache-line alignment");
     }
     ~WordLease() { ws_->giveWords(std::move(buf_)); }
 
@@ -165,7 +175,7 @@ class WordLease
 
   private:
     PolyWorkspace *ws_;
-    std::vector<u64> buf_;
+    AlignedU64Vec buf_;
 };
 
 } // namespace ive

@@ -34,6 +34,8 @@ RnsBase::RnsBase(const std::vector<u64> &primes)
         qHat_.push_back(hat);
         u64 hat_mod_qi = static_cast<u64>(hat % moduli_[i].value());
         qHatInvModQi_.push_back(moduli_[i].inverse(hat_mod_qi));
+        qHatInvShoup_.push_back(
+            moduli_[i].shoupPrecompute(qHatInvModQi_.back()));
     }
 }
 
@@ -63,12 +65,20 @@ RnsBase::fromRns(std::span<const u64> residues) const
 {
     ive_assert(static_cast<int>(residues.size()) == size());
     // Eq. 3: x = sum_i ([x_i * (Q/q_i)^{-1}] mod q_i) * (Q/q_i) mod Q.
+    // This runs once per coefficient of every gadget decomposition, so
+    // the fixed-multiplicand products are Shoup multiplies and the
+    // final reduction is conditional subtracts: each term is < Q, so
+    // acc < size() * Q and at most size() - 1 subtracts canonicalize —
+    // no 128-bit division on the hot path.
     u128 acc = 0;
     for (int i = 0; i < size(); ++i) {
-        u64 t = moduli_[i].mul(residues[i], qHatInvModQi_[i]);
+        u64 t = moduli_[i].mulShoup(residues[i], qHatInvModQi_[i],
+                                    qHatInvShoup_[i]);
         acc += qHat_[i] * t;
     }
-    return acc % q_;
+    while (acc >= q_)
+        acc -= q_;
+    return acc;
 }
 
 i128

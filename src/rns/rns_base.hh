@@ -67,6 +67,7 @@ class RnsBase
     double logQ_ = 0.0;
     std::vector<u128> qHat_;         ///< Q / q_i.
     std::vector<u64> qHatInvModQi_;  ///< (Q/q_i)^{-1} mod q_i.
+    std::vector<u64> qHatInvShoup_;  ///< x2^64 companions of the above.
 };
 
 } // namespace ive
