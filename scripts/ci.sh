@@ -5,10 +5,19 @@
 # tier1 = everything, slow = full-pipeline crypto suites, thread = the
 # suites the TSan stage exercises.
 #
-# Usage: scripts/ci.sh [--quick] [--skip-sanitize] [--tsan]
-#   --quick          run only `-L tier1 -LE slow` (fast edit loop)
+# Usage: scripts/ci.sh [--quick] [--skip-sanitize] [--tsan] [--static]
+#   --quick          run only `-L tier1 -LE slow` (fast edit loop;
+#                    also skips the static and checked-build stages)
 #   --skip-sanitize  only run the tier-1 (plain Release) configuration
 #   --tsan           additionally run the thread-heavy suites under TSan
+#   --static         run ONLY the static-analysis stage (lint.py,
+#                    clang thread-safety build, clang-tidy) and exit
+#
+# The static stage is part of the default full run. The clang-based
+# legs (thread-safety analysis, clang-tidy) self-skip with a log line
+# when no clang toolchain is installed — scripts/lint.py and the
+# warning-clean gcc build still gate the run — so the stage degrades
+# rather than silently passing.
 #
 # The tier-1 stage is an explicit Release (-O3 -DNDEBUG) build: the
 # lazy-reduction kernels and the benches are meaningless under Debug or
@@ -36,15 +45,61 @@ cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 SKIP_SANITIZE=0
 RUN_TSAN=0
+QUICK=0
+STATIC_ONLY=0
 CTEST_SELECT=(-L tier1)
 for arg in "$@"; do
     case "$arg" in
-        --quick) CTEST_SELECT=(-L tier1 -LE slow) ;;
+        --quick) QUICK=1; CTEST_SELECT=(-L tier1 -LE slow) ;;
         --skip-sanitize) SKIP_SANITIZE=1 ;;
         --tsan) RUN_TSAN=1 ;;
+        --static) STATIC_ONLY=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
+
+run_static_stage() {
+    echo "=== static: scripts/lint.py (self-test, then repo) ==="
+    if command -v python3 > /dev/null 2>&1; then
+        python3 scripts/lint.py --self-test
+        python3 scripts/lint.py
+    else
+        echo "=== static: python3 not found, lint skipped ==="
+    fi
+
+    echo "=== static: clang thread-safety analysis build ==="
+    if command -v clang++ > /dev/null 2>&1; then
+        # IVE_WARNING_FLAGS adds -Wthread-safety -Werror=thread-safety
+        # under clang, so this build fails on any annotation violation
+        # in common/annotations.hh users. IVE_WERROR hardens the rest.
+        cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=Release \
+              -DCMAKE_CXX_COMPILER=clang++ -DIVE_WERROR=ON \
+              -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
+        cmake --build build-tsa -j "$JOBS"
+    else
+        echo "=== static: clang++ not found, thread-safety build skipped ==="
+    fi
+
+    echo "=== static: clang-tidy (.clang-tidy, WarningsAsErrors) ==="
+    if command -v clang-tidy > /dev/null 2>&1; then
+        cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=Release \
+              -DIVE_CLANG_TIDY=ON \
+              -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
+        cmake --build build-tidy -j "$JOBS"
+    else
+        echo "=== static: clang-tidy not found, skipped ==="
+    fi
+}
+
+if [ "$STATIC_ONLY" -eq 1 ]; then
+    run_static_stage
+    echo "=== static stage passed ==="
+    exit 0
+fi
+
+if [ "$QUICK" -eq 0 ]; then
+    run_static_stage
+fi
 
 echo "=== tier-1: Release build + ctest ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
@@ -74,6 +129,21 @@ ctest --test-dir build --output-on-failure -j "$JOBS" "${CTEST_SELECT[@]}"
 
 echo "=== perf smoke: bench_e2e_query --quick (Release, NDEBUG) ==="
 (cd build/bench && ./bench_e2e_query --quick --out /dev/null)
+
+if [ "$QUICK" -eq 0 ]; then
+    echo "=== checked build: IVE_CHECK_RANGES=ON + scalar tier-1 ==="
+    # The scalar backend audits every documented lazy-range bound
+    # (src/poly/simd/kernels_scalar.cc); forcing scalar dispatch runs
+    # the whole pipeline through the audited kernels. test_contracts
+    # additionally proves the audits *fire* on corrupted values.
+    cmake -B build-checked -S . -DCMAKE_BUILD_TYPE=Release \
+          -DIVE_CHECK_RANGES=ON \
+          -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
+    cmake --build build-checked -j "$JOBS"
+    IVE_FORCE_ISA=scalar \
+        ctest --test-dir build-checked --output-on-failure -j "$JOBS" \
+        "${CTEST_SELECT[@]}"
+fi
 
 if [ "$SKIP_SANITIZE" -eq 0 ]; then
     echo "=== ASan/UBSan build + ctest ==="

@@ -1,0 +1,16 @@
+#include "common/contracts.hh"
+
+#include "common/logging.hh"
+
+namespace ive {
+
+void
+contractFailure(const char *contract, const char *expr, const char *file,
+                int line)
+{
+    throw ContractViolation(strprintf(
+        "range contract violated: %s ('%s' failed at %s:%d)", contract,
+        expr, file, line));
+}
+
+} // namespace ive

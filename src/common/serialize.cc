@@ -13,6 +13,7 @@ ByteWriter::writeU64Span(std::span<const u64> words)
     if constexpr (std::endian::native == std::endian::little) {
         size_t old = buf_.size();
         buf_.resize(old + words.size() * 8);
+        // lint: allow(unchecked-serialize) -- dst was resize()d to exactly old + 8*size above; this IS the ByteWriter bulk primitive
         std::memcpy(buf_.data() + old, words.data(), words.size() * 8);
     } else {
         for (u64 w : words)
@@ -25,6 +26,7 @@ ByteReader::readU64Span(std::span<u64> out)
 {
     need(out.size() * 8, "u64 span");
     if constexpr (std::endian::native == std::endian::little) {
+        // lint: allow(unchecked-serialize) -- need() above proved 8*size bytes remain; this IS the ByteReader bulk primitive
         std::memcpy(out.data(), data_.data() + pos_, out.size() * 8);
         pos_ += out.size() * 8;
     } else {

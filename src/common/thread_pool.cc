@@ -18,7 +18,10 @@ thread_local bool tls_pool_worker = false;
 /**
  * Shared state of one parallelFor. Indices are claimed lock-free from
  * `next`; everything about completion (activeWorkers, firstError) is
- * guarded by the pool's mutex.
+ * guarded by the pool's mutex. (The analysis cannot express "guarded
+ * by the owning pool's mu_" on a free struct, so these two fields are
+ * convention-checked: every access below sits inside a LockGuard /
+ * UniqueLock scope on mu_.)
  */
 struct ThreadPool::Batch
 {
@@ -32,7 +35,7 @@ struct ThreadPool::Batch
 ThreadPool::ThreadPool(int num_threads)
     : numThreads_(num_threads < 1 ? 1 : num_threads)
 {
-    workers_.reserve(numThreads_ - 1);
+    workers_.reserve(static_cast<size_t>(numThreads_ - 1));
     for (int i = 0; i < numThreads_ - 1; ++i)
         workers_.emplace_back([this] { workerLoop(); });
 }
@@ -40,7 +43,7 @@ ThreadPool::ThreadPool(int num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -62,8 +65,9 @@ ThreadPool::workerLoop()
     for (;;) {
         Batch *batch;
         {
-            std::unique_lock<std::mutex> lock(mu_);
+            UniqueLock lock(mu_);
             wake_.wait(lock, [&] {
+                mu_.assertHeld(); // Predicates run with the lock held.
                 return stop_ ||
                        (current_ != nullptr &&
                         generation_ != seen_generation);
@@ -89,7 +93,7 @@ ThreadPool::workerLoop()
         }
 
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            LockGuard lock(mu_);
             if (error && !batch->firstError)
                 batch->firstError = error;
             --batch->activeWorkers;
@@ -119,7 +123,7 @@ ThreadPool::parallelFor(u64 begin, u64 end,
     batch.next.store(begin, std::memory_order_relaxed);
 
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueLock lock(mu_);
         if (current_ != nullptr) {
             // Another top-level batch owns the workers; degrade to an
             // inline loop rather than queueing (keeps latency bounded
@@ -150,7 +154,7 @@ ThreadPool::parallelFor(u64 begin, u64 end,
 
     std::exception_ptr first;
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueLock lock(mu_);
         current_ = nullptr; // No new workers may join this batch.
         wake_.wait(lock, [&] { return batch.activeWorkers == 0; });
         if (error && !batch.firstError)
@@ -163,8 +167,8 @@ ThreadPool::parallelFor(u64 begin, u64 end,
 
 namespace {
 
-std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool;
+Mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool IVE_GUARDED_BY(g_pool_mu);
 
 int
 defaultThreads()
@@ -184,7 +188,7 @@ defaultThreads()
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lock(g_pool_mu);
+    LockGuard lock(g_pool_mu);
     if (!g_pool)
         g_pool = std::make_unique<ThreadPool>(defaultThreads());
     return *g_pool;
@@ -193,7 +197,7 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalThreads(int num_threads)
 {
-    std::lock_guard<std::mutex> lock(g_pool_mu);
+    LockGuard lock(g_pool_mu);
     g_pool = std::make_unique<ThreadPool>(num_threads);
 }
 

@@ -15,12 +15,11 @@
 #ifndef IVE_COMMON_THREAD_POOL_HH
 #define IVE_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/types.hh"
 
 namespace ive {
@@ -46,7 +45,8 @@ class ThreadPool
      * parallelism).
      */
     void parallelFor(u64 begin, u64 end,
-                     const std::function<void(u64)> &fn);
+                     const std::function<void(u64)> &fn)
+        IVE_EXCLUDES(mu_);
 
     /** True when the calling thread is one of this pool's workers. */
     static bool onWorkerThread();
@@ -67,16 +67,18 @@ class ThreadPool
   private:
     struct Batch; ///< One parallelFor invocation's shared state.
 
-    void workerLoop();
+    void workerLoop() IVE_EXCLUDES(mu_);
 
     int numThreads_;
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;
-    std::condition_variable wake_;   ///< Workers wait for a batch.
-    Batch *current_ = nullptr;       ///< Batch being executed, if any.
-    u64 generation_ = 0;             ///< Bumped per batch to re-wake.
-    bool stop_ = false;
+    Mutex mu_;
+    CondVar wake_; ///< Workers wait for a batch.
+    /** Batch being executed, if any. */
+    Batch *current_ IVE_GUARDED_BY(mu_) = nullptr;
+    /** Bumped per batch to re-wake workers. */
+    u64 generation_ IVE_GUARDED_BY(mu_) = 0;
+    bool stop_ IVE_GUARDED_BY(mu_) = false;
 };
 
 /** parallelFor on the global pool. */

@@ -22,7 +22,7 @@ barrettFactor(u64 q)
 
 Modulus::Modulus(u64 q) : q_(q), bits_(log2Floor(q) + 1)
 {
-    ive_assert(q > 1 && q < (u64{1} << 62));
+    ive_assert(q > 1 && q < kMaxModulus);
     u128 m = barrettFactor(q);
     mHi_ = static_cast<u64>(m >> 64);
     mLo_ = static_cast<u64>(m);

@@ -18,6 +18,16 @@
 
 namespace ive {
 
+/**
+ * Largest modulus (exclusive) the library accepts. The bound is what
+ * makes the Harvey lazy ranges representable: forward-NTT
+ * intermediates reach 4q, which must fit a 64-bit word (q < 2^62),
+ * and the lazy Shoup product's [0, 2q) output needs q < 2^63.
+ * Compile-time-derived consequences are static_asserted in
+ * poly/kernels.hh; wire.cc mirrors the bound for hostile param blobs.
+ */
+inline constexpr u64 kMaxModulus = u64{1} << 62;
+
 class Modulus
 {
   public:

@@ -12,14 +12,10 @@ namespace ive {
 
 namespace {
 
-/**
- * The 52-bit lazy Shoup product's range proof needs 4q < 2^52; below
- * this bound NttTable precomputes x2^52 companions so the IFMA
- * butterflies can engage. IVE's 28-bit evaluation primes are far
- * inside it; only wide test primes (>= 50 bits) fall back.
- */
-constexpr u64 kIfmaModulusBound = u64{1} << 50;
-
+// The 52-bit lazy Shoup range proof needs 4q < 2^52, i.e. moduli below
+// simd::kIfmaModulusBound (static_asserted in simd.hh); only then does
+// NttTable spend memory on x2^52 companions. IVE's 28-bit evaluation
+// primes are far inside it; wide test primes (>= 50 bits) fall back.
 u64
 shoupPrecompute52(u64 b, u64 q)
 {
@@ -46,7 +42,7 @@ NttTable::NttTable(u64 q, u64 n) : mod_(q), n_(n), logN_(log2Exact(n))
     // Spend the 2n-words-per-direction companion tables only where
     // some backend can consume them (IFMA compiled in and runnable).
     const bool ifma_ok =
-        q < kIfmaModulusBound && simd::ifmaButterfliesAvailable();
+        q < simd::kIfmaModulusBound && simd::ifmaButterfliesAvailable();
     fwd_.resize(n);
     fwdShoup_.resize(n);
     inv_.resize(n);

@@ -63,7 +63,9 @@ struct ServerCountersSnapshot
  * concurrently on the thread pool; relaxed increments keep the exact
  * totals the complexity model checks against. Counters are cumulative
  * over the server's lifetime; reset() is explicit, never implicit per
- * call.
+ * call. Relaxed atomics carry no capability annotations by policy
+ * (common/annotations.hh); snapshot() may tear across fields while
+ * queries are in flight, which callers accept.
  */
 struct ServerCounters
 {

@@ -138,7 +138,15 @@ class ServerSession
     u32 shard_ = 0;
     u32 numShards_ = 1;
     Database db_;
+    /**
+     * Write-once state: set by ingestKeys() before any concurrent
+     * answer*() call starts (the documented session handshake), then
+     * only read. Deliberately not IVE_GUARDED_BY — a capability here
+     * would put a lock on the read-only serving hot path; the
+     * handshake order is what TSan's session suites pin down.
+     */
     std::unique_ptr<PirServer> server_;
+    /// Relaxed atomic; see common/annotations.hh for the policy.
     mutable std::atomic<u64> queriesAnswered_{0};
 };
 

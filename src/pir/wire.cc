@@ -53,9 +53,9 @@ checkConstructible(ByteReader &r, const PirParams &p)
     double log_q = 0.0;
     for (size_t i = 0; i < primes.size(); ++i) {
         u64 prime = primes[i];
-        // Modulus: Barrett constants need q < 2^62; RnsBase: CRT needs
-        // actual (distinct) primes; NttTable: 2n | q-1.
-        checkRange(r, prime > 1 && prime < (u64{1} << 62), "prime",
+        // Modulus: Barrett constants need q < kMaxModulus; RnsBase:
+        // CRT needs actual (distinct) primes; NttTable: 2n | q-1.
+        checkRange(r, prime > 1 && prime < kMaxModulus, "prime",
                    prime);
         if (!isPrime(prime))
             r.fail(strprintf("modulus %llu is not prime",

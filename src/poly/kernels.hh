@@ -46,6 +46,27 @@
 
 namespace ive::kernels {
 
+// --- compile-time bound proofs ---------------------------------------
+//
+// The runtime halves of these contracts are audited by the scalar
+// backend under -DIVE_CHECK_RANGES=ON (common/contracts.hh); here the
+// compile-time-derivable parts are pinned against kMaxModulus
+// (modmath/modulus.hh) and the simd datapath bounds (poly/simd/simd.hh).
+
+// Forward lazy intermediates reach 4q and must fit one 64-bit word.
+static_assert(static_cast<u128>(4) * (kMaxModulus - 1) <= ~u64{0},
+              "forward-NTT lazy bound: 4q must fit u64");
+// mulShoupLazy's [0, 2q) output bound holds for any q < 2^63.
+static_assert(static_cast<u128>(2) * (kMaxModulus - 1) < (u128{1} << 63),
+              "lazy Shoup product needs q < 2^63");
+// The fused-MAC engage bound must stay inside the general modulus
+// bound, so fusedMacOk's dispatch is a pure refinement.
+static_assert(simd::kFusedMacModulusBound <= kMaxModulus,
+              "fused-MAC bound exceeds the modulus bound");
+// The IFMA butterfly bound likewise refines the general bound.
+static_assert(simd::kIfmaModulusBound <= kMaxModulus,
+              "IFMA bound exceeds the modulus bound");
+
 /**
  * Shoup product without the final conditional subtract: returns
  * a * b - floor(a * b_shoup / 2^64) * q, which lies in [0, 2q) for ANY
@@ -182,7 +203,7 @@ applyCoeffMapVec(u64 *dst, const u64 *src, const u64 *map, u64 n, u64 q)
 inline bool
 fusedMacOk(const Modulus &mod)
 {
-    return mod.value() < (u64{1} << 32);
+    return mod.value() < simd::kFusedMacModulusBound;
 }
 
 /**

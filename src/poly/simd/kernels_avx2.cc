@@ -281,7 +281,7 @@ void
 mulVec(u64 *dst, const u64 *src, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
-    if (q >= (u64{1} << 32)) {
+    if (q >= kFusedMacModulusBound) {
         // Products need the full 128-bit Barrett; the scalar path's
         // native 128-bit arithmetic wins there.
         scalar::mulVec(dst, src, n, mod);
@@ -328,7 +328,7 @@ void
 mulAccVec(u64 *dst, const u64 *a, const u64 *b, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
-    if (q >= (u64{1} << 32)) {
+    if (q >= kFusedMacModulusBound) {
         scalar::mulAccVec(dst, a, b, n, mod);
         return;
     }
@@ -416,7 +416,7 @@ void
 macReduce(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
-    if (q >= (u64{1} << 32)) {
+    if (q >= kFusedMacModulusBound) {
         scalar::macReduce(dst, acc, n, mod);
         return;
     }
@@ -439,7 +439,7 @@ void
 macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
-    if (q >= (u64{1} << 32)) {
+    if (q >= kFusedMacModulusBound) {
         scalar::macReduceAdd(dst, acc, n, mod);
         return;
     }

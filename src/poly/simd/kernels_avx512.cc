@@ -266,7 +266,7 @@ void
 mulVec(u64 *dst, const u64 *src, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
-    if (q >= (u64{1} << 32)) {
+    if (q >= kFusedMacModulusBound) {
         scalar::mulVec(dst, src, n, mod);
         return;
     }
@@ -304,7 +304,7 @@ void
 mulAccVec(u64 *dst, const u64 *a, const u64 *b, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
-    if (q >= (u64{1} << 32)) {
+    if (q >= kFusedMacModulusBound) {
         scalar::mulAccVec(dst, a, b, n, mod);
         return;
     }
@@ -380,7 +380,7 @@ void
 macReduce(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
-    if (q >= (u64{1} << 32)) {
+    if (q >= kFusedMacModulusBound) {
         scalar::macReduce(dst, acc, n, mod);
         return;
     }
@@ -403,7 +403,7 @@ void
 macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
-    if (q >= (u64{1} << 32)) {
+    if (q >= kFusedMacModulusBound) {
         scalar::macReduceAdd(dst, acc, n, mod);
         return;
     }

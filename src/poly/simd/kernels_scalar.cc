@@ -7,11 +7,77 @@
  * classes.
  */
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "poly/kernels.hh"
 #include "poly/simd/backends.hh"
 
 namespace ive::simd::scalar {
+
+// --- range-contract audits (-DIVE_CHECK_RANGES=ON) -------------------
+//
+// Every documented lazy bound of the kernel layer, checked on the
+// values actually flowing through. Only the scalar backend carries the
+// audits: forcing IVE_FORCE_ISA=scalar under a checked build verifies
+// a full serving pipeline, and the vector backends are proven
+// bit-identical to scalar by tests/test_simd.cc. In normal builds
+// these helpers are empty and compile to nothing.
+
+namespace {
+
+inline void
+auditBelow(const u64 *a, u64 n, u128 bound, const char *contract)
+{
+#if IVE_RANGE_CHECKS_ENABLED
+    for (u64 i = 0; i < n; ++i)
+        ive_contract(a[i] < bound, contract);
+#else
+    (void)a;
+    (void)n;
+    (void)bound;
+    (void)contract;
+#endif
+}
+
+inline void
+auditAccHighWord(const u128 *acc, u64 n, const char *contract)
+{
+#if IVE_RANGE_CHECKS_ENABLED
+    for (u64 i = 0; i < n; ++i)
+        ive_contract((acc[i] >> 64) < kFusedMacModulusBound, contract);
+#else
+    (void)acc;
+    (void)n;
+    (void)contract;
+#endif
+}
+
+// Contract names are part of the tooling surface: test_contracts.cc
+// matches on them, and a checked-build failure report leads with them.
+constexpr const char *kFwdInputContract =
+    "forward-NTT input canonicity (a[i] < q)";
+constexpr const char *kFwdLazyContract =
+    "forward-NTT lazy intermediate below 4q";
+constexpr const char *kInvInputContract =
+    "inverse-NTT input canonicity (a[i] < q)";
+constexpr const char *kInvLazyContract =
+    "inverse-NTT lazy intermediate below 2q";
+constexpr const char *kCanonInContract =
+    "canonicalization input below the 4q lazy bound";
+constexpr const char *kCanonOutContract =
+    "post-canonicalization residue below q";
+constexpr const char *kShoupOperandContract =
+    "Shoup multiplicand canonicity (b[i] < q)";
+constexpr const char *kVecOperandContract =
+    "vector-op operand canonicity (value < q)";
+constexpr const char *kMacOperandContract =
+    "fused-MAC operand below the 2^32 fused bound";
+constexpr const char *kMacHighWordContract =
+    "MAC accumulator high word below 2^32 (deferred Barrett)";
+constexpr const char *kCoeffMapContract =
+    "automorphism map position below n";
+
+} // namespace
 
 void
 nttForwardLazy(u64 *a, u64 n, const Modulus &mod, const NttTwiddles &tb)
@@ -19,6 +85,8 @@ nttForwardLazy(u64 *a, u64 n, const Modulus &mod, const NttTwiddles &tb)
     const u64 q = mod.value();
     const u64 *tw = tb.tw;
     const u64 *tws = tb.twShoup;
+    auditBelow(a, n, q, kFwdInputContract);
+    auditBelow(tw, n, q, kShoupOperandContract);
     u64 t = n;
     for (u64 m = 1; m < n; m <<= 1) {
         t >>= 1;
@@ -27,6 +95,10 @@ nttForwardLazy(u64 *a, u64 n, const Modulus &mod, const NttTwiddles &tb)
             scalarFwdButterflyBlock(x, x + t, t, tw[m + i], tws[m + i],
                                     q);
         }
+        // Harvey CT butterflies keep every lane below 4q at each
+        // stage; auditing per stage pins the exact invariant rather
+        // than just the end state.
+        auditBelow(a, n, static_cast<u128>(4) * q, kFwdLazyContract);
     }
     canonicalizeVec(a, n, q);
 }
@@ -38,6 +110,7 @@ nttInverseLazy(u64 *a, u64 n, const Modulus &mod, const NttTwiddles &tb,
     const u64 q = mod.value();
     const u64 *tw = tb.tw;
     const u64 *tws = tb.twShoup;
+    auditBelow(a, n, q, kInvInputContract);
     u64 t = 1;
     for (u64 m = n; m > 1; m >>= 1) {
         u64 j1 = 0;
@@ -49,16 +122,21 @@ nttInverseLazy(u64 *a, u64 n, const Modulus &mod, const NttTwiddles &tb,
             j1 += 2 * t;
         }
         t <<= 1;
+        // GS butterflies keep the running sums below 2q per stage.
+        auditBelow(a, n, static_cast<u128>(2) * q, kInvLazyContract);
     }
     for (u64 j = 0; j < n; ++j) {
         u64 v = kernels::mulShoupLazy(a[j], n_inv, n_inv_shoup, q);
         a[j] = v >= q ? v - q : v;
     }
+    auditBelow(a, n, q, kCanonOutContract);
 }
 
 void
 addVec(u64 *dst, const u64 *src, u64 n, u64 q)
 {
+    auditBelow(dst, n, q, kVecOperandContract);
+    auditBelow(src, n, q, kVecOperandContract);
     for (u64 i = 0; i < n; ++i) {
         u64 s = dst[i] + src[i];
         dst[i] = s >= q ? s - q : s;
@@ -68,6 +146,8 @@ addVec(u64 *dst, const u64 *src, u64 n, u64 q)
 void
 subVec(u64 *dst, const u64 *src, u64 n, u64 q)
 {
+    auditBelow(dst, n, q, kVecOperandContract);
+    auditBelow(src, n, q, kVecOperandContract);
     for (u64 i = 0; i < n; ++i) {
         u64 a = dst[i], b = src[i];
         dst[i] = a >= b ? a - b : a + q - b;
@@ -77,6 +157,7 @@ subVec(u64 *dst, const u64 *src, u64 n, u64 q)
 void
 negVec(u64 *dst, u64 n, u64 q)
 {
+    auditBelow(dst, n, q, kVecOperandContract);
     for (u64 i = 0; i < n; ++i)
         dst[i] = dst[i] == 0 ? 0 : q - dst[i];
 }
@@ -91,15 +172,18 @@ mulVec(u64 *dst, const u64 *src, u64 n, const Modulus &mod)
 void
 mulShoupVec(u64 *dst, const u64 *b, const u64 *b_shoup, u64 n, u64 q)
 {
+    auditBelow(b, n, q, kShoupOperandContract);
     for (u64 i = 0; i < n; ++i) {
         u64 r = kernels::mulShoupLazy(dst[i], b[i], b_shoup[i], q);
         dst[i] = r >= q ? r - q : r;
     }
+    auditBelow(dst, n, q, kCanonOutContract);
 }
 
 void
 canonicalizeVec(u64 *a, u64 n, u64 q)
 {
+    auditBelow(a, n, static_cast<u128>(4) * q, kCanonInContract);
     const u64 two_q = 2 * q;
     for (u64 j = 0; j < n; ++j) {
         u64 v = a[j];
@@ -109,12 +193,16 @@ canonicalizeVec(u64 *a, u64 n, u64 q)
             v -= q;
         a[j] = v;
     }
+    auditBelow(a, n, q, kCanonOutContract);
 }
 
 void
 mulAccVec(u64 *dst, const u64 *a, const u64 *b, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
+    auditBelow(dst, n, q, kVecOperandContract);
+    auditBelow(a, n, q, kVecOperandContract);
+    auditBelow(b, n, q, kVecOperandContract);
     for (u64 i = 0; i < n; ++i) {
         u64 s = dst[i] + mod.mul(a[i], b[i]);
         dst[i] = s >= q ? s - q : s;
@@ -124,6 +212,12 @@ mulAccVec(u64 *dst, const u64 *a, const u64 *b, u64 n, const Modulus &mod)
 void
 macAccumulate(u128 *acc, const u64 *a, const u64 *b, u64 n)
 {
+    auditBelow(a, n, kFusedMacModulusBound, kMacOperandContract);
+    auditBelow(b, n, kFusedMacModulusBound, kMacOperandContract);
+    // The acc >> 64 < 2^32 bound is a *reduce-time* contract: raw
+    // accumulation may legally ride past it mid-chain (the carry-corner
+    // suites do, deliberately); macReduce/macReduceAdd audit it where
+    // the deferred Barrett actually depends on it.
     for (u64 i = 0; i < n; ++i)
         acc[i] += static_cast<u128>(a[i]) * b[i];
 }
@@ -131,6 +225,7 @@ macAccumulate(u128 *acc, const u64 *a, const u64 *b, u64 n)
 void
 macReduce(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
 {
+    auditAccHighWord(acc, n, kMacHighWordContract);
     for (u64 i = 0; i < n; ++i)
         dst[i] = mod.reduce(acc[i]);
 }
@@ -139,6 +234,8 @@ void
 macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
 {
     const u64 q = mod.value();
+    auditAccHighWord(acc, n, kMacHighWordContract);
+    auditBelow(dst, n, q, kVecOperandContract);
     for (u64 i = 0; i < n; ++i) {
         u64 s = dst[i] + mod.reduce(acc[i]);
         dst[i] = s >= q ? s - q : s;
@@ -148,6 +245,8 @@ macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
 void
 applyCoeffMap(u64 *dst, const u64 *src, const u64 *map, u64 n, u64 q)
 {
+    auditBelow(src, n, q, kVecOperandContract);
+    auditBelow(map, n, static_cast<u128>(n) << 1, kCoeffMapContract);
     for (u64 i = 0; i < n; ++i) {
         u64 m = map[i];
         u64 v = src[i];

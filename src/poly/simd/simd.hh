@@ -49,6 +49,55 @@ enum class Isa
 
 const char *isaName(Isa isa);
 
+// --- machine-checked datapath bounds ---------------------------------
+//
+// The lazy-reduction design rests on a handful of numeric bounds that
+// used to live in comments. They are named constants here so every
+// backend tests the same value, and static_asserts derive the bound
+// proofs at compile time; the runtime halves of the same contracts are
+// audited by the scalar backend under -DIVE_CHECK_RANGES=ON (see
+// common/contracts.hh).
+
+/**
+ * Moduli below this engage the fused u128 MAC chain: canonical
+ * products fit 64 bits and the vector reducers fold the accumulator
+ * high word with one 2^64-mod-q multiply.
+ */
+inline constexpr u64 kFusedMacModulusBound = u64{1} << 32;
+
+/**
+ * Longest fused chain the deferred-Barrett reducers admit: the
+ * accumulator high word must stay below 2^32. Actual chains (D0-long
+ * RowSel columns, 2l-row key-switch sums) are orders of magnitude
+ * shorter.
+ */
+inline constexpr u64 kFusedMacMaxChain = u64{1} << 32;
+
+/**
+ * IFMA 52-bit datapath bound: the lazy butterflies feed operands up to
+ * 4q into vpmadd52, so 4q must fit 52 bits.
+ */
+inline constexpr u64 kIfmaModulusBound = u64{1} << 50;
+
+// Fused products of canonical residues must fit one 64-bit word.
+static_assert(static_cast<u128>(kFusedMacModulusBound - 1) *
+                      (kFusedMacModulusBound - 1) <=
+                  ~u64{0},
+              "fused-MAC products must fit 64 bits");
+// A maximal chain keeps the accumulator high word below 2^32, the
+// precondition of the vector macReduce kernels.
+static_assert((static_cast<u128>(kFusedMacMaxChain) *
+               (static_cast<u128>(kFusedMacModulusBound - 1) *
+                (kFusedMacModulusBound - 1))) >>
+                      64 <
+                  (u64{1} << 32),
+              "a maximal fused chain must keep acc >> 64 below 2^32");
+// The 52-bit lazy Shoup proof needs its 4q operands inside the
+// vpmadd52 datapath.
+static_assert(static_cast<u128>(4) * (kIfmaModulusBound - 1) <
+                  (u128{1} << 52),
+              "IFMA butterflies need 4q inside the 52-bit datapath");
+
 /**
  * Twiddle bundle a transform hands its backend: bit-reversed twiddles
  * with their x2^64 Shoup companions, plus the x2^52 companions when

@@ -8,6 +8,9 @@ namespace {
 
 // Process-wide counters: each thread_local workspace bumps these with
 // relaxed ops; tests read the totals to pin steady-state behaviour.
+// Relaxed atomics, no capability annotations by policy (see
+// common/annotations.hh); the pool itself is thread_local and
+// therefore lock- and annotation-free.
 std::atomic<u64> g_poly_allocs{0};
 std::atomic<u64> g_poly_reuses{0};
 std::atomic<u64> g_buf_allocs{0};

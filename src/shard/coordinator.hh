@@ -113,6 +113,10 @@ class ShardCoordinator
     HeContext ctx_;
     std::vector<std::unique_ptr<ShardServer>> shards_;
     std::unique_ptr<PirServer> foldServer_; ///< db = nullptr.
+    // Traffic tallies are relaxed atomics, not mutex-guarded state:
+    // concurrent answer() calls bump them independently and summary()
+    // reads a (possibly torn-across-fields) snapshot by design. See
+    // common/annotations.hh for the policy on atomics vs capabilities.
     std::atomic<u64> queries_{0};
     std::atomic<u64> broadcastBytes_{0};
     std::atomic<u64> gatherBytes_{0};

@@ -18,7 +18,7 @@ ShardDispatcher::ShardDispatcher(ShardCoordinator &coordinator,
 ShardDispatcher::~ShardDispatcher()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -33,7 +33,7 @@ ShardDispatcher::submit(std::vector<u8> query_blob)
     p.blob = std::move(query_blob);
     std::future<std::vector<u8>> fut = p.promise.get_future();
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         if (stop_)
             throw std::logic_error(
                 "ShardDispatcher: submit after shutdown");
@@ -47,23 +47,29 @@ ShardDispatcher::submit(std::vector<u8> query_blob)
 void
 ShardDispatcher::drain()
 {
-    std::unique_lock<std::mutex> lk(mu_);
-    idle_.wait(lk, [this] { return queue_.empty() && !inFlight_; });
+    UniqueLock lk(mu_);
+    idle_.wait(lk, [this] {
+        mu_.assertHeld(); // Predicates run with the lock held.
+        return queue_.empty() && !inFlight_;
+    });
 }
 
 DispatcherStats
 ShardDispatcher::stats() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     return stats_;
 }
 
 void
 ShardDispatcher::runLoop()
 {
-    std::unique_lock<std::mutex> lk(mu_);
+    UniqueLock lk(mu_);
     for (;;) {
-        wake_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        wake_.wait(lk, [this] {
+            mu_.assertHeld();
+            return stop_ || !queue_.empty();
+        });
         if (queue_.empty()) {
             ive_assert(stop_);
             return;
@@ -79,6 +85,7 @@ ShardDispatcher::runLoop()
             std::chrono::duration_cast<Clock::duration>(
                 std::chrono::duration<double>(cfg_.windowSec));
         bool full = wake_.wait_until(lk, deadline, [this] {
+            mu_.assertHeld();
             return stop_ ||
                    queue_.size() >=
                        static_cast<size_t>(cfg_.maxBatch);

@@ -20,11 +20,11 @@
 #define IVE_SHARD_DISPATCHER_HH
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <thread>
 
+#include "common/annotations.hh"
 #include "shard/coordinator.hh"
 #include "system/batch_scheduler.hh"
 
@@ -57,12 +57,13 @@ class ShardDispatcher
     ShardDispatcher &operator=(const ShardDispatcher &) = delete;
 
     /** Enqueues one query blob; the future yields its Response blob. */
-    std::future<std::vector<u8>> submit(std::vector<u8> query_blob);
+    std::future<std::vector<u8>> submit(std::vector<u8> query_blob)
+        IVE_EXCLUDES(mu_);
 
     /** Blocks until every submitted query has been dispatched. */
-    void drain();
+    void drain() IVE_EXCLUDES(mu_);
 
-    DispatcherStats stats() const;
+    DispatcherStats stats() const IVE_EXCLUDES(mu_);
 
   private:
     using Clock = std::chrono::steady_clock;
@@ -74,18 +75,18 @@ class ShardDispatcher
         std::promise<std::vector<u8>> promise;
     };
 
-    void runLoop();
+    void runLoop() IVE_EXCLUDES(mu_);
 
     ShardCoordinator &coordinator_;
     SchedulerConfig cfg_;
 
-    mutable std::mutex mu_;
-    std::condition_variable wake_; ///< Queue grew or stop requested.
-    std::condition_variable idle_; ///< Queue drained, nothing in flight.
-    std::deque<Pending> queue_;
-    DispatcherStats stats_;
-    bool inFlight_ = false;
-    bool stop_ = false;
+    mutable Mutex mu_;
+    CondVar wake_; ///< Queue grew or stop requested.
+    CondVar idle_; ///< Queue drained, nothing in flight.
+    std::deque<Pending> queue_ IVE_GUARDED_BY(mu_);
+    DispatcherStats stats_ IVE_GUARDED_BY(mu_);
+    bool inFlight_ IVE_GUARDED_BY(mu_) = false;
+    bool stop_ IVE_GUARDED_BY(mu_) = false;
     std::thread worker_;
 };
 

@@ -57,6 +57,8 @@ class ShardServer
 
   private:
     ServerSession session_;
+    // Relaxed atomics (concurrent answerPartial calls), no capability
+    // needed; see common/annotations.hh for the annotation policy.
     std::atomic<u64> requestBytes_{0};
     std::atomic<u64> responseBytes_{0};
 };
