@@ -4,9 +4,13 @@
  *
  * Drives the full bytes-only serving path (ServerSession::answer) and
  * the individual pipeline stages (ExpandQuery, selector assembly,
- * RowSel, ColTor fold) at 1 and 8 threads, then writes BENCH_e2e.json.
- * Numbers from this bench are the ones README "Performance" records;
- * run it from a Release build — Debug/sanitizer timings are noise.
+ * RowSel, ColTor fold) across a 1/2/4/8-thread sweep, then writes
+ * BENCH_e2e.json with per-stage parallel-efficiency columns (speedup
+ * over the 1-thread point divided by the thread count) plus the
+ * runner's core count — scaling numbers from a machine with fewer
+ * cores than threads are honest about it. Numbers from this bench are
+ * the ones README "Performance" records; run it from a Release build —
+ * Debug/sanitizer timings are noise.
  *
  * Usage: bench_e2e_query [--quick] [--out FILE]
  *   --quick  small ring / database; used by scripts/ci.sh as a perf
@@ -159,7 +163,7 @@ main(int argc, char **argv)
                 "answer ms", "qps");
 
     std::vector<StageTimes> results;
-    for (int threads : {1, 8}) {
+    for (int threads : {1, 2, 4, 8}) {
         ThreadPool::setGlobalThreads(threads);
         StageTimes st;
         st.threads = threads;
@@ -207,27 +211,46 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
         return 1;
     }
+    unsigned hw = std::thread::hardware_concurrency();
     std::fprintf(json,
-                 "{\n  \"quick\": %s,\n  \"params\": {\"n\": %llu, "
+                 "{\n  \"quick\": %s,\n  \"cores\": %u,\n"
+                 "  \"params\": {\"n\": %llu, "
                  "\"k\": %d, \"d0\": %llu, \"d\": %d, \"planes\": %d, "
                  "\"entries\": %llu, \"db_bytes\": %llu},\n"
                  "  \"points\": [\n",
-                 quick ? "true" : "false",
+                 quick ? "true" : "false", hw == 0 ? 1 : hw,
                  (unsigned long long)params.he.n, ctx.ring().k(),
                  (unsigned long long)params.d0, params.d, params.planes,
                  (unsigned long long)params.numEntries(),
                  (unsigned long long)params.dbBytes());
+    // Parallel efficiency per stage: (t_1 / t_T) / T — 1.0 is perfect
+    // scaling, 1/T is no scaling. The 1-thread point is the divisor,
+    // so its own columns are 1.0 by construction.
+    const StageTimes &base = results[0];
+    auto eff = [&](double t1, double tt, int threads) {
+        return tt > 0 ? (t1 / tt) / threads : 0.0;
+    };
     for (size_t i = 0; i < results.size(); ++i) {
         const StageTimes &st = results[i];
         std::fprintf(json,
                      "%s    {\"threads\": %d, \"expand_ms\": %.3f, "
                      "\"selectors_ms\": %.3f, \"rowsel_ms\": %.3f, "
                      "\"fold_ms\": %.3f, \"answer_ms\": %.3f, "
-                     "\"queries_per_sec\": %.4f}",
+                     "\"queries_per_sec\": %.4f,\n"
+                     "     \"expand_eff\": %.3f, \"selectors_eff\": %.3f, "
+                     "\"rowsel_eff\": %.3f, \"fold_eff\": %.3f, "
+                     "\"answer_eff\": %.3f, \"answer_speedup\": %.3f}",
                      i == 0 ? "" : ",\n", st.threads,
                      st.expandSec * 1e3, st.selectorsSec * 1e3,
                      st.rowselSec * 1e3, st.foldSec * 1e3,
-                     st.answerSec * 1e3, st.qps);
+                     st.answerSec * 1e3, st.qps,
+                     eff(base.expandSec, st.expandSec, st.threads),
+                     eff(base.selectorsSec, st.selectorsSec, st.threads),
+                     eff(base.rowselSec, st.rowselSec, st.threads),
+                     eff(base.foldSec, st.foldSec, st.threads),
+                     eff(base.answerSec, st.answerSec, st.threads),
+                     st.answerSec > 0 ? base.answerSec / st.answerSec
+                                      : 0.0);
     }
     std::fprintf(json, "\n  ]\n}\n");
     std::fclose(json);

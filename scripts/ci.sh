@@ -130,12 +130,32 @@ ctest --test-dir build --output-on-failure -j "$JOBS" "${CTEST_SELECT[@]}"
 echo "=== perf smoke: bench_e2e_query --quick (Release, NDEBUG) ==="
 (cd build/bench && ./bench_e2e_query --quick --out /dev/null)
 
+# Parallel-scaling gate: the full bench must show >= 2x answer speedup
+# at 8 threads over 1. Physically meaningful only with >= 8 cores, so
+# it is skipped under --quick and on smaller runners (the bench JSON
+# still records the core count for the record).
+if [ "$QUICK" -eq 0 ] && [ "$(nproc)" -ge 8 ]; then
+    echo "=== perf gate: 8-thread answer speedup >= 2x ==="
+    (cd build/bench && ./bench_e2e_query --out ci_bench.json)
+    python3 - build/bench/ci_bench.json <<'EOF'
+import json, sys
+points = {p["threads"]: p for p in json.load(open(sys.argv[1]))["points"]}
+speedup = points[1]["answer_ms"] / points[8]["answer_ms"]
+print(f"8-thread answer speedup: {speedup:.2f}x")
+sys.exit(0 if speedup >= 2.0 else 1)
+EOF
+else
+    echo "=== perf gate: skipped (--quick or < 8 cores: $(nproc)) ==="
+fi
+
 if [ "$QUICK" -eq 0 ]; then
     echo "=== checked build: IVE_CHECK_RANGES=ON + scalar tier-1 ==="
     # The scalar backend audits every documented lazy-range bound
     # (src/poly/simd/kernels_scalar.cc); forcing scalar dispatch runs
-    # the whole pipeline through the audited kernels. test_contracts
-    # additionally proves the audits *fire* on corrupted values.
+    # the whole pipeline through the audited kernels, including the
+    # segmented RowSel merge's per-partial contract (acc >> 64 < 2^32
+    # before mergeMacPartial, kernels.hh). test_contracts additionally
+    # proves the audits *fire* on corrupted values.
     cmake -B build-checked -S . -DCMAKE_BUILD_TYPE=Release \
           -DIVE_CHECK_RANGES=ON \
           -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF

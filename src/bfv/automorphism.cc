@@ -2,6 +2,7 @@
 
 #include "bfv/rgsw.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "poly/kernels.hh"
 
 namespace ive {
@@ -64,53 +65,73 @@ subsInto(const HeContext &ctx, const BfvCiphertext &ct, const EvkKey &evk,
     // apply it to both.
     WordLease map(ws, n);
     RnsPoly::automorphismMap(n, evk.r, map.span());
-    PolyLease tmp(ws, ring, Domain::Coeff);
+
+    // Phase 1: each (side, plane) pair is independent — copy the
+    // plane, inverse-transform, permute; the b side also transforms
+    // sigma_r(b) straight back to NTT form, since out.b is the key-
+    // switch chain's addend. Two scratch polys (instead of the old
+    // reused tmp) keep the sides write-disjoint.
+    PolyLease tmp_a(ws, ring, Domain::Coeff);
+    PolyLease tmp_b(ws, ring, Domain::Coeff);
     PolyLease a_rot(ws, ring, Domain::Coeff);
-    *tmp = ct.a;
-    tmp->fromNtt(ring);
-    tmp->applyCoeffMap(ring, map.span(), *a_rot);
+    {
+        const RnsPoly *src[2] = {&ct.a, &ct.b};
+        RnsPoly *scratch[2] = {&*tmp_a, &*tmp_b};
+        RnsPoly *rot[2] = {&*a_rot, &out.b};
+        const u64 *map_data = map.data();
+        parallelFor(0, 2 * static_cast<u64>(nk), [&](u64 t) {
+            int side = static_cast<int>(t / nk);
+            int p = static_cast<int>(t % nk);
+            const u64 q = ring.base.modulus(p).value();
+            std::span<const u64> s = src[side]->residues(p);
+            std::span<u64> d = scratch[side]->residues(p);
+            std::copy(s.begin(), s.end(), d.begin());
+            ring.ntt[static_cast<size_t>(p)].inverse(d);
+            u64 *r = rot[side]->residues(p).data();
+            kernels::applyCoeffMapVec(r, d.data(), map_data, n, q);
+            if (side == 1)
+                ring.ntt[static_cast<size_t>(p)].forward(
+                    rot[side]->residues(p));
+        });
+    }
 
-    *tmp = ct.b;
-    tmp->fromNtt(ring);
-    tmp->applyCoeffMap(ring, map.span(), out.b);
-    out.b.toNtt(ring);
-
-    // Key switch sigma_r(a) back under s: out.a = sum_k d_k * evk_k.a,
-    // out.b = sigma_r(b) + sum_k d_k * evk_k.b, with the ellKs-long
-    // chains reduced lazily for fused primes.
+    // Phase 2: key switch sigma_r(a) back under s: out.a =
+    // sum_k d_k * evk_k.a, out.b = sigma_r(b) + sum_k d_k * evk_k.b,
+    // with the ellKs-long chains reduced lazily for fused primes.
     PolyVecLease digits(ws, ring, Domain::Coeff, ell);
     decomposePolyInto(ctx, gadget, *a_rot, *digits, ws);
 
+    // Phase 3: per-plane tasks, each running both sides' key-switch
+    // chains for its plane in the exact serial link order (k
+    // ascending, a then b per digit). One task per plane keeps each
+    // digit plane cache-hot across its two uses, matching the serial
+    // code's memory traffic; the per-accumulator order never changes,
+    // so outputs are byte-identical at any thread count. No
+    // chainMacBegin on out.b: it already holds sigma_r(b), the chain's
+    // addend.
     AccLease acc(ws, 2 * words);
     u128 *acc_a = acc.data();
     u128 *acc_b = acc.data() + words;
-    // No chainMacBegin on out.b: it already holds sigma_r(b), the
-    // chain's addend.
-    for (int p = 0; p < nk; ++p) {
-        kernels::chainMacBegin(ring.base.modulus(p), n,
-                               out.a.residues(p).data());
-    }
-    for (int k = 0; k < ell; ++k) {
-        const RnsPoly &dig = digits[static_cast<size_t>(k)];
-        const BfvCiphertext &row = evk.rows[static_cast<size_t>(k)];
-        for (int p = 0; p < nk; ++p) {
-            const Modulus &mod = ring.base.modulus(p);
-            const u64 *pd = dig.residues(p).data();
-            kernels::chainMacAcc(mod, n, acc_a + static_cast<u64>(p) * n,
-                                 out.a.residues(p).data(), pd,
+    parallelFor(0, static_cast<u64>(nk), [&](u64 t) {
+        int p = static_cast<int>(t);
+        const Modulus &mod = ring.base.modulus(p);
+        u64 *oa = out.a.residues(p).data();
+        u64 *ob = out.b.residues(p).data();
+        u128 *aa = acc_a + static_cast<u64>(p) * n;
+        u128 *ab = acc_b + static_cast<u64>(p) * n;
+        kernels::chainMacBegin(mod, n, oa);
+        for (int k = 0; k < ell; ++k) {
+            const u64 *pd =
+                digits[static_cast<size_t>(k)].residues(p).data();
+            const BfvCiphertext &row = evk.rows[static_cast<size_t>(k)];
+            kernels::chainMacAcc(mod, n, aa, oa, pd,
                                  row.a.residues(p).data());
-            kernels::chainMacAcc(mod, n, acc_b + static_cast<u64>(p) * n,
-                                 out.b.residues(p).data(), pd,
+            kernels::chainMacAcc(mod, n, ab, ob, pd,
                                  row.b.residues(p).data());
         }
-    }
-    for (int p = 0; p < nk; ++p) {
-        const Modulus &mod = ring.base.modulus(p);
-        kernels::chainMacFinish(mod, n, acc_a + static_cast<u64>(p) * n,
-                                out.a.residues(p).data(), false);
-        kernels::chainMacFinish(mod, n, acc_b + static_cast<u64>(p) * n,
-                                out.b.residues(p).data(), true);
-    }
+        kernels::chainMacFinish(mod, n, aa, oa, false);
+        kernels::chainMacFinish(mod, n, ab, ob, true);
+    });
 }
 
 void

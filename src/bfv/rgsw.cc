@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "poly/kernels.hh"
 
 namespace ive {
@@ -35,31 +36,58 @@ decomposePolyInto(const HeContext &ctx, const Gadget &gadget,
     for (const RnsPoly &d : digits)
         ive_assert(!d.isNtt() && d.n() == ring.n);
 
-    WordLease scratch(ws, static_cast<u64>(ring.k()) + ell);
-    std::span<u64> res(scratch.data(), static_cast<size_t>(ring.k()));
-    std::span<u64> dig(scratch.data() + ring.k(),
-                       static_cast<size_t>(ell));
-    for (u64 i = 0; i < ring.n; ++i) {
-        poly_coeff.coeffResidues(i, res);
-        u128 x = ring.base.fromRns(res); // iCRT (Eq. 3)
-        gadget.decompose(x, dig);        // bit extraction
-        // Digits are < z < every q_i, so the residue is the same in
-        // every plane: write only plane 0 here (ell unit-stride
-        // streams) and replicate whole planes below, instead of the
-        // old ell x k scattered stores per coefficient.
-        for (int k = 0; k < ell; ++k)
-            digits[k].set(0, i, dig[k]);
-    }
-    for (int k = 0; k < ell; ++k) {
-        std::span<const u64> p0 =
-            std::as_const(digits[k]).residues(0);
-        for (int p = 1; p < ring.k(); ++p) {
+    const int nk = ring.k();
+    // Scratch is leased inside each task from the *executing* thread's
+    // workspace (== ws for inline chunks); ws stays in the signature so
+    // call sites keep the workspace explicit.
+    (void)ws;
+
+    // Coefficient ranges are independent (each i writes only slot i of
+    // every digit's plane 0), so the iCRT + bit-extraction sweep chunks
+    // across the pool; the per-coefficient work is tens of nanoseconds,
+    // hence the coarse grain. Nested calls (RowSel columns, fold pairs
+    // on workers) run the whole range inline as before.
+    parallelForChunked(0, ring.n, 512, [&](u64 from, u64 to) {
+        WordLease scratch(PolyWorkspace::local(),
+                          static_cast<u64>(nk) + ell);
+        std::span<u64> res(scratch.data(), static_cast<size_t>(nk));
+        std::span<u64> dig(scratch.data() + nk,
+                           static_cast<size_t>(ell));
+        for (u64 i = from; i < to; ++i) {
+            poly_coeff.coeffResidues(i, res);
+            u128 x = ring.base.fromRns(res); // iCRT (Eq. 3)
+            gadget.decompose(x, dig);        // bit extraction
+            // Digits are < z < every q_i, so the residue is the same
+            // in every plane: write only plane 0 here (ell unit-stride
+            // streams) and replicate whole planes below, instead of
+            // the old ell x k scattered stores per coefficient.
+            for (int k = 0; k < ell; ++k)
+                digits[k].set(0, i, dig[k]);
+        }
+    });
+    // Replicate plane 0 across the other planes, then transform every
+    // (digit, plane) pair independently: the two phases must not fuse,
+    // or a task could read plane 0 while the (digit, 0) task transforms
+    // it. The per-plane transforms replace digits[k].toNtt(ring); the
+    // coordinating thread retags once all planes are NTT form.
+    if (nk > 1) {
+        parallelFor(0, static_cast<u64>(ell) * (nk - 1), [&](u64 t) {
+            int k = static_cast<int>(t / (nk - 1));
+            int p = 1 + static_cast<int>(t % (nk - 1));
+            std::span<const u64> p0 =
+                std::as_const(digits[k]).residues(0);
             std::copy(p0.begin(), p0.end(),
                       digits[k].residues(p).begin());
-        }
+        });
     }
+    parallelFor(0, static_cast<u64>(ell) * nk, [&](u64 t) {
+        int k = static_cast<int>(t / nk);
+        int p = static_cast<int>(t % nk);
+        ring.ntt[static_cast<size_t>(p)].forward(
+            digits[k].residues(p));
+    });
     for (RnsPoly &d : digits)
-        d.toNtt(ring);
+        PolyWorkspace::retag(d, Domain::Ntt);
 }
 
 namespace {
@@ -146,40 +174,58 @@ externalProductInto(const HeContext &ctx, const RgswCiphertext &rgsw,
 
     PolyLease a_coeff(ws, ring, Domain::Coeff);
     PolyLease b_coeff(ws, ring, Domain::Coeff);
-    *a_coeff = ct.a;
-    a_coeff->fromNtt(ring);
-    *b_coeff = ct.b;
-    b_coeff->fromNtt(ring);
+    // Phase 1: each (side, plane) pair copies its residue plane and
+    // inverse-transforms it independently (2k tasks). When a fold pair
+    // or RowSel column already owns a worker this runs inline, same as
+    // the old a_coeff/b_coeff fromNtt path.
+    {
+        const RnsPoly *src[2] = {&ct.a, &ct.b};
+        RnsPoly *dst[2] = {&*a_coeff, &*b_coeff};
+        parallelFor(0, 2 * static_cast<u64>(nk), [&](u64 t) {
+            int side = static_cast<int>(t / nk);
+            int p = static_cast<int>(t % nk);
+            std::span<const u64> s = src[side]->residues(p);
+            std::span<u64> d = dst[side]->residues(p);
+            std::copy(s.begin(), s.end(), d.begin());
+            ring.ntt[static_cast<size_t>(p)].inverse(d);
+        });
+    }
 
+    // Phase 2: the two gadget decompositions (internally parallel over
+    // coefficient chunks and (digit, plane) transforms).
     PolyVecLease da(ws, ring, Domain::Coeff, ell);
     PolyVecLease db(ws, ring, Domain::Coeff, ell);
     decomposePolyInto(ctx, gadget, *a_coeff, *da, ws);
     decomposePolyInto(ctx, gadget, *b_coeff, *db, ws);
 
-    // The 2x2l matrix-vector product: one MAC chain per output plane,
-    // with the fused/strict dispatch centralized in kernels::chainMac*.
+    // Phase 3: the 2x2l matrix-vector product — per-plane tasks, each
+    // running both sides' MAC chains for its plane in the exact serial
+    // per-plane link order (k ascending; da into a and b, then db into
+    // a and b), with the fused/strict dispatch centralized in
+    // kernels::chainMac*. One task per plane (not per side) keeps each
+    // digit plane cache-hot across its two uses, matching the serial
+    // code's memory traffic; outputs are byte-identical at any thread
+    // count because the per-accumulator order never changes.
     AccLease acc(ws, 2 * words);
-    u128 *acc_a = acc.data();
-    u128 *acc_b = acc.data() + words;
-    for (int p = 0; p < nk; ++p) {
+    u128 *acc_base = acc.data();
+    parallelFor(0, static_cast<u64>(nk), [&](u64 t) {
+        int p = static_cast<int>(t);
         const Modulus &mod = ring.base.modulus(p);
-        kernels::chainMacBegin(mod, n, out.a.residues(p).data());
-        kernels::chainMacBegin(mod, n, out.b.residues(p).data());
-    }
-    for (int k = 0; k < ell; ++k) {
-        const RnsPoly &dig_a = da[static_cast<size_t>(k)];
-        const RnsPoly &dig_b = db[static_cast<size_t>(k)];
-        const BfvCiphertext &row_a = rgsw.rows[static_cast<size_t>(k)];
-        const BfvCiphertext &row_b =
-            rgsw.rows[static_cast<size_t>(ell + k)];
-        for (int p = 0; p < nk; ++p) {
-            const Modulus &mod = ring.base.modulus(p);
-            const u64 *pa = dig_a.residues(p).data();
-            const u64 *pb = dig_b.residues(p).data();
-            u128 *aa = acc_a + static_cast<u64>(p) * n;
-            u128 *ab = acc_b + static_cast<u64>(p) * n;
-            u64 *oa = out.a.residues(p).data();
-            u64 *ob = out.b.residues(p).data();
+        u64 *oa = out.a.residues(p).data();
+        u64 *ob = out.b.residues(p).data();
+        u128 *aa = acc_base + static_cast<u64>(p) * n;
+        u128 *ab = acc_base + words + static_cast<u64>(p) * n;
+        kernels::chainMacBegin(mod, n, oa);
+        kernels::chainMacBegin(mod, n, ob);
+        for (int k = 0; k < ell; ++k) {
+            const u64 *pa =
+                da[static_cast<size_t>(k)].residues(p).data();
+            const u64 *pb =
+                db[static_cast<size_t>(k)].residues(p).data();
+            const BfvCiphertext &row_a =
+                rgsw.rows[static_cast<size_t>(k)];
+            const BfvCiphertext &row_b =
+                rgsw.rows[static_cast<size_t>(ell + k)];
             kernels::chainMacAcc(mod, n, aa, oa, pa,
                                  row_a.a.residues(p).data());
             kernels::chainMacAcc(mod, n, ab, ob, pa,
@@ -189,14 +235,9 @@ externalProductInto(const HeContext &ctx, const RgswCiphertext &rgsw,
             kernels::chainMacAcc(mod, n, ab, ob, pb,
                                  row_b.b.residues(p).data());
         }
-    }
-    for (int p = 0; p < nk; ++p) {
-        const Modulus &mod = ring.base.modulus(p);
-        kernels::chainMacFinish(mod, n, acc_a + static_cast<u64>(p) * n,
-                                out.a.residues(p).data(), false);
-        kernels::chainMacFinish(mod, n, acc_b + static_cast<u64>(p) * n,
-                                out.b.residues(p).data(), false);
-    }
+        kernels::chainMacFinish(mod, n, aa, oa, false);
+        kernels::chainMacFinish(mod, n, ab, ob, false);
+    });
 }
 
 void

@@ -106,21 +106,56 @@ void
 ThreadPool::parallelFor(u64 begin, u64 end,
                         const std::function<void(u64)> &fn)
 {
+    parallelForChunked(begin, end, 1, [&fn](u64 from, u64 to) {
+        for (u64 i = from; i < to; ++i)
+            fn(i);
+    });
+}
+
+void
+ThreadPool::parallelForChunked(u64 begin, u64 end, u64 min_grain,
+                               const RangeFn &fn)
+{
     if (begin >= end)
         return;
+    const u64 range = end - begin;
+    const u64 grain = min_grain == 0 ? 1 : min_grain;
+    // Every chunk carries at least `grain` indices (floor division), so
+    // a range under 2 * grain is a single chunk. Cap the chunk count at
+    // kChunksPerLane per lane: enough slack for dynamic balancing,
+    // bounded dispatch overhead.
+    const u64 by_grain = range / grain;
+    const u64 by_lanes = static_cast<u64>(numThreads_) * kChunksPerLane;
+    const u64 chunks = by_grain < by_lanes ? by_grain : by_lanes;
     // Nested calls (a worker parallelizing inside a parallel region)
     // and trivial cases run inline: the coarse level already owns the
     // pool, and inline nesting cannot deadlock.
-    if (numThreads_ <= 1 || end - begin == 1 || onWorkerThread()) {
-        for (u64 i = begin; i < end; ++i)
-            fn(i);
+    if (numThreads_ <= 1 || chunks <= 1 || onWorkerThread()) {
+        fn(begin, end);
         return;
     }
 
+    // Chunk c covers [begin + c*range/chunks, begin + (c+1)*range/chunks):
+    // balanced boundaries that depend only on (range, chunks), never on
+    // claim timing, so per-chunk work is deterministic.
+    const std::function<void(u64)> chunk_fn = [&](u64 c) {
+        u64 from = begin + static_cast<u64>(
+                               static_cast<u128>(c) * range / chunks);
+        u64 to = begin + static_cast<u64>(static_cast<u128>(c + 1) *
+                                          range / chunks);
+        if (from < to)
+            fn(from, to);
+    };
+    runBatch(chunks, chunk_fn);
+}
+
+void
+ThreadPool::runBatch(u64 count, const std::function<void(u64)> &fn)
+{
     Batch batch;
-    batch.end = end;
+    batch.end = count;
     batch.fn = &fn;
-    batch.next.store(begin, std::memory_order_relaxed);
+    batch.next.store(0, std::memory_order_relaxed);
 
     {
         UniqueLock lock(mu_);
@@ -129,7 +164,7 @@ ThreadPool::parallelFor(u64 begin, u64 end,
             // inline loop rather than queueing (keeps latency bounded
             // and the pool logic single-batch).
             lock.unlock();
-            for (u64 i = begin; i < end; ++i)
+            for (u64 i = 0; i < count; ++i)
                 fn(i);
             return;
         }
@@ -142,7 +177,7 @@ ThreadPool::parallelFor(u64 begin, u64 end,
     std::exception_ptr error;
     for (;;) {
         u64 i = batch.next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= end)
+        if (i >= count)
             break;
         try {
             fn(i);
@@ -205,6 +240,13 @@ void
 parallelFor(u64 begin, u64 end, const std::function<void(u64)> &fn)
 {
     ThreadPool::global().parallelFor(begin, end, fn);
+}
+
+void
+parallelForChunked(u64 begin, u64 end, u64 min_grain,
+                   const ThreadPool::RangeFn &fn)
+{
+    ThreadPool::global().parallelForChunked(begin, end, min_grain, fn);
 }
 
 } // namespace ive

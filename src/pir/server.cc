@@ -1,10 +1,39 @@
 #include "pir/server.hh"
 
+#include <algorithm>
+
+#include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "poly/kernels.hh"
 
 namespace ive {
+
+namespace {
+
+/**
+ * Outer-loop dispatch for pipeline stages whose trip count can drop
+ * below the pool size (early expansion levels, late tournament depths,
+ * planes): when the count cannot fill the lanes and the caller is not
+ * already a pool worker, run the loop serially so the per-op
+ * parallelism inside subsInto / externalProductInto / decomposePolyInto
+ * engages at top level; otherwise dispatch across the pool and let the
+ * per-op layers run inline as before. Either way each index writes only
+ * its own slots, so results are byte-identical.
+ */
+void
+wideFor(u64 count, const std::function<void(u64)> &fn)
+{
+    if (!ThreadPool::onWorkerThread() &&
+        count < static_cast<u64>(ThreadPool::global().size())) {
+        for (u64 i = 0; i < count; ++i)
+            fn(i);
+    } else {
+        parallelFor(0, count, fn);
+    }
+}
+
+} // namespace
 
 PirServer::PirServer(const HeContext &ctx, const PirParams &params,
                      const Database *db, PirPublicKeys keys)
@@ -76,8 +105,41 @@ PirServer::localLevels() const
 std::vector<BfvCiphertext>
 PirServer::expandQuery(const PirQuery &query) const
 {
+    std::vector<RgswCiphertext> none;
+    return expandAndSelect(query, 0, 0, none);
+}
+
+std::vector<BfvCiphertext>
+PirServer::expandAndSelect(const PirQuery &query, int sel_from,
+                           int sel_to,
+                           std::vector<RgswCiphertext> &selectors) const
+{
     int depth = params_.expansionDepth();
     u64 used = params_.usedLeaves();
+    ive_assert(sel_from >= 0 && sel_from <= sel_to &&
+               sel_to <= params_.d);
+
+    int ell = ctx_.gadgetRgsw().ell();
+    const u64 sel_lo =
+        params_.d0 + static_cast<u64>(sel_from) * ell;
+    const u64 sel_hi = params_.d0 + static_cast<u64>(sel_to) * ell;
+    selectors.assign(static_cast<size_t>(params_.d), RgswCiphertext{});
+    for (int t = sel_from; t < sel_to; ++t) {
+        selectors[static_cast<size_t>(t)].ell = ell;
+        selectors[static_cast<size_t>(t)].rows.resize(
+            2 * static_cast<size_t>(ell));
+    }
+    // A gadget-row leaf is final the moment the last level produces it,
+    // so its selector rows can be built inside the producing task —
+    // disjoint (t, k) slots per leaf, same values buildSelectors would
+    // compute from the finished leaves.
+    auto maybeSelect = [&](u64 leaf_idx, const BfvCiphertext &leaf) {
+        if (leaf_idx < sel_lo || leaf_idx >= sel_hi)
+            return;
+        u64 off = leaf_idx - params_.d0;
+        selectorRows(selectors[off / ell],
+                     static_cast<int>(off % ell), leaf);
+    };
 
     // Level-order expansion with pruning: a node with path index idx at
     // level t covers coefficients congruent to idx mod 2^t; it is
@@ -91,6 +153,7 @@ PirServer::expandQuery(const PirQuery &query) const
     nodes.push_back({query.ct, 0});
 
     for (int t = 0; t < depth; ++t) {
+        const bool last = t == depth - 1;
         // Children per node are independent; place them at offsets
         // computed up front so the parallel transform writes disjoint
         // slots and the result is identical at any thread count.
@@ -101,8 +164,10 @@ PirServer::expandQuery(const PirQuery &query) const
             offset[i + 1] = offset[i] + 1 + (odd_idx < used ? 1 : 0);
         }
 
+        // Early levels have fewer nodes than lanes, so the wide path
+        // runs them serially and each Subs parallelizes internally.
         std::vector<Node> next(offset.back());
-        parallelFor(0, nodes.size(), [&](u64 i) {
+        wideFor(nodes.size(), [&](u64 i) {
             Node &node = nodes[i];
             PolyWorkspace &ws = PolyWorkspace::local();
             CtLease rotated(ws, ctx_.ring());
@@ -117,15 +182,27 @@ PirServer::expandQuery(const PirQuery &query) const
                 monomialMulInPlace(ctx_, odd, monomials_[t],
                                    monomialShoup_[t]);
                 next[slot + 1] = {std::move(odd), odd_idx};
+                if (last)
+                    maybeSelect(odd_idx, next[slot + 1].ct);
             }
             // Even branch, in place: ct + Subs(ct, N/2^t + 1).
             addInPlace(ctx_, node.ct, *rotated);
             next[slot] = {std::move(node.ct), node.idx};
+            if (last)
+                maybeSelect(node.idx, next[slot].ct);
         });
         counters_.subsOps.fetch_add(nodes.size(),
                                     std::memory_order_relaxed);
         nodes = std::move(next);
     }
+    if (depth == 0) {
+        // Degenerate single-leaf tree: nothing overlapped with.
+        for (auto &node : nodes)
+            maybeSelect(node.idx, node.ct);
+    }
+    counters_.externalProducts.fetch_add(
+        static_cast<u64>(sel_to - sel_from) * ell,
+        std::memory_order_relaxed);
 
     std::vector<BfvCiphertext> leaves(used);
     for (auto &node : nodes) {
@@ -155,26 +232,32 @@ PirServer::buildSelectors(const std::vector<BfvCiphertext> &leaves,
         selectors[t].rows.resize(2 * ell);
     }
     // Each (dimension, gadget-row) pair is independent.
-    parallelFor(0, static_cast<u64>(to - from) * ell, [&](u64 i) {
+    wideFor(static_cast<u64>(to - from) * ell, [&](u64 i) {
         int t = from + static_cast<int>(i / ell);
         int k = static_cast<int>(i % ell);
-        RgswCiphertext &sel = selectors[t];
-        const BfvCiphertext &leaf =
-            leaves[params_.d0 + static_cast<u64>(t) * ell + k];
-        // b-side row: the leaf's phase is bit * z^k already.
-        sel.rows[ell + k] = leaf;
-        // a-side row: needs phase bit * z^k * s; external product
-        // with RGSW(s) multiplies the phase by s. The row is a
-        // persistent output; only the product's scratch is pooled.
-        BfvCiphertext &row = sel.rows[k];
-        row.a = RnsPoly(ctx_.ring(), Domain::Ntt);
-        row.b = RnsPoly(ctx_.ring(), Domain::Ntt);
-        externalProductInto(ctx_, keys_.rgswOfSecret, leaf, row,
-                            PolyWorkspace::local());
+        selectorRows(selectors[t], k,
+                     leaves[params_.d0 + static_cast<u64>(t) * ell + k]);
     });
     counters_.externalProducts.fetch_add(
         static_cast<u64>(to - from) * ell, std::memory_order_relaxed);
     return selectors;
+}
+
+void
+PirServer::selectorRows(RgswCiphertext &sel, int k,
+                        const BfvCiphertext &leaf) const
+{
+    int ell = sel.ell;
+    // b-side row: the leaf's phase is bit * z^k already.
+    sel.rows[static_cast<size_t>(ell + k)] = leaf;
+    // a-side row: needs phase bit * z^k * s; external product with
+    // RGSW(s) multiplies the phase by s. The row is a persistent
+    // output; only the product's scratch is pooled.
+    BfvCiphertext &row = sel.rows[static_cast<size_t>(k)];
+    row.a = RnsPoly(ctx_.ring(), Domain::Ntt);
+    row.b = RnsPoly(ctx_.ring(), Domain::Ntt);
+    externalProductInto(ctx_, keys_.rgswOfSecret, leaf, row,
+                        PolyWorkspace::local());
 }
 
 std::vector<BfvCiphertext>
@@ -189,49 +272,154 @@ PirServer::rowSel(const std::vector<BfvCiphertext> &leaves,
     // order is fixed, so the output is identical at any thread count.
     // Per column, the D0-long plainMulAcc chain accumulates raw u128
     // products and defers the Barrett reduction to one final pass per
-    // output word (fused primes); the accumulators live in the
-    // worker's PolyWorkspace.
+    // output word (fused primes).
     const Ring &ring = ctx_.ring();
     const u64 n = ring.n;
     const int nk = ring.k();
+    const u64 words = ring.words();
+    const u64 d0 = params_.d0;
+
+    // When whole columns cannot fill the lanes (shard slices, small d),
+    // split each column's D0-long chain into per-segment partial
+    // accumulators and merge them with one deferred reduction. u128
+    // accumulation is exact and modular addition is associative, so the
+    // merged total equals the unsplit chain bit-for-bit.
+    u64 segs = 1;
+    const u64 pool =
+        static_cast<u64>(ThreadPool::global().size());
+    if (!ThreadPool::onWorkerThread() && cols < pool) {
+        u64 want = divCeil(2 * pool, cols);
+        segs = want < d0 ? want : d0;
+    }
+
     std::vector<BfvCiphertext> out(cols);
-    parallelFor(0, cols, [&](u64 r) {
-        PolyWorkspace &ws = PolyWorkspace::local();
-        BfvCiphertext acc;
-        acc.a = RnsPoly(ring, Domain::Ntt);
-        acc.b = RnsPoly(ring, Domain::Ntt);
-        AccLease mac(ws, 2 * ring.words());
-        u128 *acc_a = mac.data();
-        u128 *acc_b = mac.data() + ring.words();
-        for (u64 i = 0; i < params_.d0; ++i) {
+    if (segs <= 1) {
+        parallelFor(0, cols, [&](u64 r) {
+            PolyWorkspace &ws = PolyWorkspace::local();
+            BfvCiphertext acc;
+            acc.a = RnsPoly(ring, Domain::Ntt);
+            acc.b = RnsPoly(ring, Domain::Ntt);
+            AccLease mac(ws, 2 * words);
+            u128 *acc_a = mac.data();
+            u128 *acc_b = mac.data() + words;
+            for (u64 i = 0; i < d0; ++i) {
+                const RnsPoly &entry =
+                    db_->entry(first + r * d0 + i, plane);
+                const BfvCiphertext &leaf = leaves[i];
+                for (int p = 0; p < nk; ++p) {
+                    const Modulus &mod = ring.base.modulus(p);
+                    const u64 *pe = entry.residues(p).data();
+                    kernels::chainMacAcc(mod, n,
+                                         acc_a + static_cast<u64>(p) * n,
+                                         acc.a.residues(p).data(), pe,
+                                         leaf.a.residues(p).data());
+                    kernels::chainMacAcc(mod, n,
+                                         acc_b + static_cast<u64>(p) * n,
+                                         acc.b.residues(p).data(), pe,
+                                         leaf.b.residues(p).data());
+                }
+            }
+            for (int p = 0; p < nk; ++p) {
+                const Modulus &mod = ring.base.modulus(p);
+                kernels::chainMacFinish(mod, n,
+                                        acc_a + static_cast<u64>(p) * n,
+                                        acc.a.residues(p).data(), false);
+                kernels::chainMacFinish(mod, n,
+                                        acc_b + static_cast<u64>(p) * n,
+                                        acc.b.residues(p).data(), false);
+            }
+            out[r] = std::move(acc);
+        });
+        counters_.plainMulAccs.fetch_add(cols * d0,
+                                         std::memory_order_relaxed);
+        return out;
+    }
+
+    // Segmented path. Partials outlive the task that produced them (the
+    // merge runs on a different thread), so they live in one block
+    // leased by the coordinating thread, not in per-worker pools.
+    // Slice (r, s) = task r*segs + s holds 2*words u128 planes (fused
+    // primes) and 2*words u64 planes (strict primes), a side then b.
+    PolyWorkspace &ws = PolyWorkspace::local();
+    AccLease mac(ws, cols * segs * 2 * words);
+    WordLease strict(ws, cols * segs * 2 * words);
+
+    // Phase A: each (column, segment) task accumulates its row range.
+    // Segment boundaries depend only on (d0, segs) — deterministic and
+    // balanced; segs <= d0 keeps every segment non-empty.
+    parallelFor(0, cols * segs, [&](u64 task) {
+        u64 r = task / segs;
+        u64 s = task % segs;
+        u64 row_from = s * d0 / segs;
+        u64 row_to = (s + 1) * d0 / segs;
+        u128 *acc_a = mac.data() + task * 2 * words;
+        u128 *acc_b = acc_a + words;
+        u64 *dst_a = strict.data() + task * 2 * words;
+        u64 *dst_b = dst_a + words;
+        for (int p = 0; p < nk; ++p) {
+            const Modulus &mod = ring.base.modulus(p);
+            kernels::chainMacBegin(mod, n,
+                                   dst_a + static_cast<u64>(p) * n);
+            kernels::chainMacBegin(mod, n,
+                                   dst_b + static_cast<u64>(p) * n);
+        }
+        for (u64 i = row_from; i < row_to; ++i) {
             const RnsPoly &entry =
-                db_->entry(first + r * params_.d0 + i, plane);
+                db_->entry(first + r * d0 + i, plane);
             const BfvCiphertext &leaf = leaves[i];
             for (int p = 0; p < nk; ++p) {
                 const Modulus &mod = ring.base.modulus(p);
                 const u64 *pe = entry.residues(p).data();
                 kernels::chainMacAcc(mod, n,
                                      acc_a + static_cast<u64>(p) * n,
-                                     acc.a.residues(p).data(), pe,
-                                     leaf.a.residues(p).data());
+                                     dst_a + static_cast<u64>(p) * n,
+                                     pe, leaf.a.residues(p).data());
                 kernels::chainMacAcc(mod, n,
                                      acc_b + static_cast<u64>(p) * n,
-                                     acc.b.residues(p).data(), pe,
-                                     leaf.b.residues(p).data());
+                                     dst_b + static_cast<u64>(p) * n,
+                                     pe, leaf.b.residues(p).data());
             }
         }
-        for (int p = 0; p < nk; ++p) {
-            const Modulus &mod = ring.base.modulus(p);
-            kernels::chainMacFinish(mod, n,
-                                    acc_a + static_cast<u64>(p) * n,
-                                    acc.a.residues(p).data(), false);
-            kernels::chainMacFinish(mod, n,
-                                    acc_b + static_cast<u64>(p) * n,
-                                    acc.b.residues(p).data(), false);
+    });
+
+    // Phase B: per column, merge segments in ascending order and pay
+    // the chain's single deferred reduction on the merged total (fused)
+    // or sum the canonical partials (strict). mergeMacPartial audits
+    // the per-partial headroom contract in checked builds.
+    parallelFor(0, cols, [&](u64 r) {
+        BfvCiphertext acc;
+        acc.a = RnsPoly(ring, Domain::Ntt);
+        acc.b = RnsPoly(ring, Domain::Ntt);
+        for (int side = 0; side < 2; ++side) {
+            RnsPoly &out_poly = side == 0 ? acc.a : acc.b;
+            const u64 base = r * segs * 2 * words +
+                             static_cast<u64>(side) * words;
+            for (int p = 0; p < nk; ++p) {
+                const Modulus &mod = ring.base.modulus(p);
+                const u64 off = static_cast<u64>(p) * n;
+                u64 *dst = out_poly.residues(p).data();
+                if (kernels::fusedMacOk(mod)) {
+                    u128 *total = mac.data() + base + off;
+                    kernels::auditMacPartial(total, n);
+                    for (u64 s = 1; s < segs; ++s)
+                        kernels::mergeMacPartial(
+                            total, mac.data() + base + s * 2 * words + off,
+                            n);
+                    kernels::macReduce(dst, total, n, mod);
+                } else {
+                    const u64 *part0 = strict.data() + base + off;
+                    std::copy(part0, part0 + n, dst);
+                    for (u64 s = 1; s < segs; ++s)
+                        kernels::addVec(
+                            dst,
+                            strict.data() + base + s * 2 * words + off,
+                            n, mod.value());
+                }
+            }
         }
         out[r] = std::move(acc);
     });
-    counters_.plainMulAccs.fetch_add(cols * params_.d0,
+    counters_.plainMulAccs.fetch_add(cols * d0,
                                      std::memory_order_relaxed);
     return out;
 }
@@ -276,8 +464,10 @@ PirServer::foldTournament(std::vector<BfvCiphertext> entries,
     for (int t = 0; t < levels; ++t) {
         u64 s = u64{1} << t;
         u64 num = u64{1} << (levels - t - 1);
-        // Folds within one depth touch disjoint entry pairs.
-        parallelFor(0, num, [&](u64 j) {
+        // Folds within one depth touch disjoint entry pairs. Late
+        // depths have 1-2 pairs, so the wide path runs them serially
+        // and the external products parallelize internally.
+        wideFor(num, [&](u64 j) {
             foldPairInPlace(entries[2 * s * j],
                             entries[2 * s * j + s],
                             sel[sel_offset + t]);
@@ -327,9 +517,9 @@ PirServer::processAllPlanes(const PirQuery &query) const
 BfvCiphertext
 PirServer::processPartial(const PirQuery &query, int plane) const
 {
-    std::vector<BfvCiphertext> leaves = expandQuery(query);
-    std::vector<RgswCiphertext> selectors =
-        buildSelectors(leaves, 0, localLevels());
+    std::vector<RgswCiphertext> selectors;
+    std::vector<BfvCiphertext> leaves =
+        expandAndSelect(query, 0, localLevels(), selectors);
     std::vector<BfvCiphertext> entries = rowSel(leaves, plane);
     return colTor(std::move(entries), selectors);
 }
@@ -337,12 +527,15 @@ PirServer::processPartial(const PirQuery &query, int plane) const
 std::vector<BfvCiphertext>
 PirServer::processAllPlanesPartial(const PirQuery &query) const
 {
-    std::vector<BfvCiphertext> leaves = expandQuery(query);
-    std::vector<RgswCiphertext> selectors =
-        buildSelectors(leaves, 0, localLevels());
-    // Planes share the expansion but are otherwise independent.
+    std::vector<RgswCiphertext> selectors;
+    std::vector<BfvCiphertext> leaves =
+        expandAndSelect(query, 0, localLevels(), selectors);
+    // Planes share the expansion but are otherwise independent. Every
+    // shipped config has 1-2 planes — far fewer than lanes — so the
+    // wide path matters: a plain parallelFor here would pin the whole
+    // RowSel + fold below a single worker.
     std::vector<BfvCiphertext> out(params_.planes);
-    parallelFor(0, static_cast<u64>(params_.planes), [&](u64 plane) {
+    wideFor(static_cast<u64>(params_.planes), [&](u64 plane) {
         std::vector<BfvCiphertext> entries =
             rowSel(leaves, static_cast<int>(plane));
         out[plane] = colTor(std::move(entries), selectors);

@@ -125,6 +125,21 @@ class PirServer
                    int to) const;
 
     /**
+     * Expansion overlapped with selector assembly: identical leaves to
+     * expandQuery(), and on return selectors holds the RGSW selectors
+     * for tournament levels [sel_from, sel_to) (indexed [0, d), unbuilt
+     * slots empty — the same shape buildSelectors returns). A selector
+     * leaf is final as soon as the last expansion level produces it, so
+     * each last-level node task builds the selector rows for the leaves
+     * it owns inside the same parallel batch, instead of a full barrier
+     * between expansion and assembly. Byte-identical to expandQuery()
+     * followed by buildSelectors(leaves, sel_from, sel_to).
+     */
+    std::vector<BfvCiphertext>
+    expandAndSelect(const PirQuery &query, int sel_from, int sel_to,
+                    std::vector<RgswCiphertext> &selectors) const;
+
+    /**
      * RowSel over one plane: one accumulated ciphertext per local
      * database column (2^d for a full database, fewer for a slice).
      */
@@ -193,6 +208,15 @@ class PirServer
      */
     void foldPairInPlace(BfvCiphertext &e0, const BfvCiphertext &e1,
                          const RgswCiphertext &sel) const;
+
+    /**
+     * Builds both rows of selector slot (t, k) from its gadget-row
+     * leaf: the b-row copies the leaf, the a-row is the external
+     * product with RGSW(s). Shared by buildSelectors and the fused
+     * last-expansion-level path.
+     */
+    void selectorRows(RgswCiphertext &sel, int k,
+                      const BfvCiphertext &leaf) const;
 
     const HeContext &ctx_;
     PirParams params_;

@@ -195,10 +195,22 @@ ServerSession::answerBatch(
 
     const PirServer &srv = server();
     std::vector<std::vector<u8>> responses(queries.size());
-    parallelFor(0, queries.size(), [&](u64 i) {
-        PirResponse resp{srv.processAllPlanes(queries[i])};
-        responses[i] = serializeResponse(ctx_, resp);
-    });
+    if (queries.size() <
+        static_cast<u64>(ThreadPool::global().size())) {
+        // Fewer queries than lanes: answer serially so each query's
+        // internal stage parallelism (expand nodes, RowSel columns,
+        // fold pairs, per-residue kernels) spreads across the pool
+        // instead of pinning whole queries to single workers.
+        for (u64 i = 0; i < queries.size(); ++i) {
+            PirResponse resp{srv.processAllPlanes(queries[i])};
+            responses[i] = serializeResponse(ctx_, resp);
+        }
+    } else {
+        parallelFor(0, queries.size(), [&](u64 i) {
+            PirResponse resp{srv.processAllPlanes(queries[i])};
+            responses[i] = serializeResponse(ctx_, resp);
+        });
+    }
     queriesAnswered_.fetch_add(queries.size(),
                                std::memory_order_relaxed);
     return responses;

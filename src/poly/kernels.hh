@@ -40,6 +40,7 @@
 
 #include <span>
 
+#include "common/contracts.hh"
 #include "common/types.hh"
 #include "modmath/modulus.hh"
 #include "poly/simd/simd.hh"
@@ -229,6 +230,45 @@ inline void
 macReduceAdd(u64 *dst, const u128 *acc, u64 n, const Modulus &mod)
 {
     simd::active().macReduceAdd(dst, acc, n, mod);
+}
+
+/**
+ * Checked-build audit of the per-partial fused-MAC bound: a raw u128
+ * partial accumulator about to be merged must still satisfy
+ * acc >> 64 < 2^32 — the same headroom macReduce requires of a whole
+ * chain — or the merged sum could wrap past 128 bits and silently
+ * produce a wrong (often still-decryptable) result. Compiles to
+ * nothing unless -DIVE_CHECK_RANGES=ON.
+ */
+inline void
+auditMacPartial(const u128 *acc, u64 n)
+{
+#if IVE_RANGE_CHECKS_ENABLED
+    for (u64 i = 0; i < n; ++i)
+        ive_contract((acc[i] >> 64) < simd::kFusedMacModulusBound,
+                     "fused-MAC partial accumulator: acc >> 64 < 2^32 "
+                     "must hold per partial before the merge");
+#else
+    (void)acc;
+    (void)n;
+#endif
+}
+
+/**
+ * dst[i] += src[i] as raw u128 sums: merges one per-thread partial
+ * accumulator of a split MAC chain into the running total. Integer
+ * addition is exact and associative, so merging S partials in any
+ * fixed order equals the unsplit chain bit-for-bit; the single
+ * deferred Barrett reduction (macReduce) still happens once, on the
+ * merged total. Audits the per-partial range contract in checked
+ * builds.
+ */
+inline void
+mergeMacPartial(u128 *dst, const u128 *src, u64 n)
+{
+    auditMacPartial(src, n);
+    for (u64 i = 0; i < n; ++i)
+        dst[i] += src[i];
 }
 
 // --- per-plane MAC-chain dispatch ------------------------------------

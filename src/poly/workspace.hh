@@ -71,6 +71,21 @@ class PolyWorkspace
     AlignedU64Vec takeWords(u64 count);
     void giveWords(AlignedU64Vec &&buf);
 
+    /**
+     * Retags a polynomial's domain without transforming data. For the
+     * phase-structured parallel kernels (subsInto, externalProductInto,
+     * decomposePolyInto) that convert residue planes one task at a
+     * time: each plane is fully transformed inside its task, and the
+     * coordinating thread flips the tag once the phase completes, so
+     * tags stay truthful at every phase boundary. Never a substitute
+     * for toNtt()/fromNtt().
+     */
+    static void
+    retag(RnsPoly &poly, Domain domain)
+    {
+        poly.setDomainUnchecked(domain);
+    }
+
   private:
     PolyWorkspace() = default;
 

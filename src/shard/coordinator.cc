@@ -136,19 +136,23 @@ ShardCoordinator::finishFold(
         // ColTor, so the result is byte-identical to it.
         const PirServer &srv = *foldServer_;
         int sel_offset = params_.d - log2Exact(n);
-        std::vector<BfvCiphertext> leaves = srv.expandQuery(query);
-        // Only the final levels' selectors are needed here.
-        std::vector<RgswCiphertext> selectors =
-            srv.buildSelectors(leaves, sel_offset, params_.d);
+        // Only the final levels' selectors are needed here; their
+        // assembly overlaps the expansion's last level.
+        std::vector<RgswCiphertext> selectors;
+        std::vector<BfvCiphertext> leaves =
+            srv.expandAndSelect(query, sel_offset, params_.d,
+                                selectors);
 
+        // planes (1-2) never fills the pool; run the loop serially so
+        // each foldTournament's internal parallelism engages instead.
         resp.planes.resize(params_.planes);
-        parallelFor(0, static_cast<u64>(params_.planes), [&](u64 pl) {
+        for (u64 pl = 0; pl < static_cast<u64>(params_.planes); ++pl) {
             std::vector<BfvCiphertext> entries(n);
             for (u32 s = 0; s < n; ++s)
                 entries[s] = partials[s].planes[pl];
             resp.planes[pl] = srv.foldTournament(std::move(entries),
                                                  selectors, sel_offset);
-        });
+        }
     }
     queries_.fetch_add(1, std::memory_order_relaxed);
     return serializeResponse(ctx_, resp);

@@ -164,6 +164,43 @@ TEST(Contracts, MacReduceRejectsAccumulatorHighWordAtBound)
         ContractViolation);
 }
 
+TEST(Contracts, MergeMacPartialRejectsHighWordAtBound)
+{
+    IVE_REQUIRE_CHECKED_BUILD();
+    // A split RowSel chain merges per-segment u128 partials before its
+    // single deferred reduction; each partial must still satisfy
+    // acc >> 64 < 2^32 or the merged total can wrap past 128 bits.
+    std::vector<u128> dst(kN, 5);
+    std::vector<u128> src(kN, 0);
+    src[3] = static_cast<u128>(simd::kFusedMacModulusBound) << 64;
+    EXPECT_THROW(kernels::mergeMacPartial(dst.data(), src.data(), kN),
+                 ContractViolation);
+    EXPECT_THROW(kernels::auditMacPartial(src.data(), kN),
+                 ContractViolation);
+}
+
+TEST(Contracts, MergeMacPartialCleanJustBelowBoundAndExact)
+{
+    IVE_REQUIRE_CHECKED_BUILD();
+    // Honest partials just below the headroom bound pass, and the
+    // merge is the exact wrapping u128 sum.
+    std::vector<u128> dst(kN);
+    std::vector<u128> src(kN);
+    for (u64 i = 0; i < kN; ++i) {
+        dst[i] = (static_cast<u128>(i) << 64) | 7;
+        src[i] = (static_cast<u128>(simd::kFusedMacModulusBound - 1)
+                  << 64) |
+                 i;
+    }
+    std::vector<u128> expect(kN);
+    for (u64 i = 0; i < kN; ++i)
+        expect[i] = dst[i] + src[i];
+    EXPECT_NO_THROW(
+        kernels::mergeMacPartial(dst.data(), src.data(), kN));
+    for (u64 i = 0; i < kN; ++i)
+        EXPECT_TRUE(dst[i] == expect[i]) << "word " << i;
+}
+
 TEST(Contracts, CoeffMapRejectsOutOfRangePosition)
 {
     IVE_REQUIRE_CHECKED_BUILD();

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/thread_pool.hh"
 #include "pir/batch.hh"
 #include "pir/server.hh"
@@ -82,15 +85,101 @@ TEST(ParallelServer, SingleQueryPipelineIdenticalAcrossThreadCounts)
     PirFixture f(params, 33);
     PirQuery q = f.client.makeQuery(42);
 
+    // Odd counts exercise unbalanced chunk boundaries and partial-lane
+    // dispatch; powers of two exercise the balanced fast cases.
     ThreadPool::setGlobalThreads(1);
     BfvCiphertext base = f.server.process(q);
-    for (int threads : {2, 4, 8}) {
+    for (int threads : {2, 3, 4, 5, 7, 8}) {
         ThreadPool::setGlobalThreads(threads);
         BfvCiphertext resp = f.server.process(q);
         EXPECT_TRUE(ctEqual(base, resp)) << threads << " threads";
     }
     ThreadPool::setGlobalThreads(1);
     EXPECT_EQ(f.client.decode(base), f.db.entryCoeffs(42));
+}
+
+TEST(ParallelServer, SegmentedRowSelIdenticalWhenColumnsUnderfillPool)
+{
+    // cols = 2 with d0 = 32: far fewer columns than lanes, so the
+    // top-level RowSel splits each column's MAC chain into per-segment
+    // partial accumulators and merges them with one deferred reduce.
+    // The response must match the unsegmented 1-thread chain exactly.
+    PirParams params = smallParams(32, 1);
+    PirFixture f(params, 91);
+    PirQuery q = f.client.makeQuery(40);
+
+    ThreadPool::setGlobalThreads(1);
+    BfvCiphertext base = f.server.process(q);
+    for (int threads : {3, 8}) {
+        ThreadPool::setGlobalThreads(threads);
+        BfvCiphertext resp = f.server.process(q);
+        EXPECT_TRUE(ctEqual(base, resp)) << threads << " threads";
+    }
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(f.client.decode(base), f.db.entryCoeffs(40));
+}
+
+TEST(ParallelServer, ExpandAndSelectMatchesSeparatePhases)
+{
+    PirParams params = smallParams(16, 3);
+    PirFixture f(params, 13);
+    PirQuery q = f.client.makeQuery(77);
+
+    for (int threads : {1, 8}) {
+        ThreadPool::setGlobalThreads(threads);
+        std::vector<BfvCiphertext> leaves = f.server.expandQuery(q);
+        std::vector<RgswCiphertext> separate =
+            f.server.buildSelectors(leaves, 0, params.d);
+
+        std::vector<RgswCiphertext> fused;
+        std::vector<BfvCiphertext> leaves2 =
+            f.server.expandAndSelect(q, 0, params.d, fused);
+
+        ASSERT_EQ(leaves.size(), leaves2.size());
+        for (size_t i = 0; i < leaves.size(); ++i)
+            EXPECT_TRUE(ctEqual(leaves[i], leaves2[i]))
+                << threads << " threads, leaf " << i;
+        ASSERT_EQ(separate.size(), fused.size());
+        for (size_t t = 0; t < separate.size(); ++t) {
+            ASSERT_EQ(separate[t].rows.size(), fused[t].rows.size());
+            for (size_t r = 0; r < separate[t].rows.size(); ++r)
+                EXPECT_TRUE(ctEqual(separate[t].rows[r],
+                                    fused[t].rows[r]))
+                    << threads << " threads, sel " << t << " row " << r;
+        }
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
+TEST(ParallelServer, StressConcurrentHostsHitSegmentedMerge)
+{
+    // TSan stress for the per-thread partial-accumulator merge: several
+    // host threads answer the same query through the shared global pool
+    // while cols < lanes keeps the segmented RowSel path hot. Any
+    // cross-thread race on the partial slices, the merge, or the
+    // workspace leases shows up under -L thread (scripts/ci.sh TSan
+    // stage runs this binary).
+    PirParams params = smallParams(32, 1);
+    PirFixture f(params, 17);
+    PirQuery q = f.client.makeQuery(12);
+
+    ThreadPool::setGlobalThreads(4);
+    BfvCiphertext base = f.server.process(q);
+
+    std::vector<BfvCiphertext> results(4);
+    std::vector<std::thread> hosts;
+    for (size_t t = 0; t < results.size(); ++t) {
+        hosts.emplace_back([&, t] {
+            for (int rep = 0; rep < 3; ++rep)
+                results[t] = f.server.process(q);
+        });
+    }
+    for (auto &t : hosts)
+        t.join();
+    ThreadPool::setGlobalThreads(1);
+
+    for (size_t t = 0; t < results.size(); ++t)
+        EXPECT_TRUE(ctEqual(results[t], base)) << "host " << t;
 }
 
 TEST(ParallelServer, MultiPlaneResponsesIdenticalAcrossThreadCounts)

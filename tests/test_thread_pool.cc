@@ -69,6 +69,105 @@ TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
             ASSERT_EQ(hits[o][i], 1) << o << "," << i;
 }
 
+TEST(ThreadPool, ChunkedCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    for (u64 grain : {u64{1}, u64{7}, u64{64}, u64{1000}}) {
+        const u64 begin = 13, end = 13 + 10007;
+        std::vector<int> hits(end, 0);
+        pool.parallelForChunked(begin, end, grain,
+                                [&](u64 from, u64 to) {
+                                    ASSERT_LT(from, to);
+                                    for (u64 i = from; i < to; ++i)
+                                        ++hits[i];
+                                });
+        for (u64 i = 0; i < begin; ++i)
+            ASSERT_EQ(hits[i], 0) << "grain " << grain << " idx " << i;
+        for (u64 i = begin; i < end; ++i)
+            ASSERT_EQ(hits[i], 1) << "grain " << grain << " idx " << i;
+    }
+}
+
+TEST(ThreadPool, ChunkedHonorsMinGrainFloor)
+{
+    ThreadPool pool(8);
+    const u64 n = 1000, grain = 128;
+    // floor(1000 / 128) = 7 chunks; every chunk must carry >= grain.
+    std::vector<std::pair<u64, u64>> chunks;
+    Mutex mu;
+    pool.parallelForChunked(0, n, grain, [&](u64 from, u64 to) {
+        LockGuard lock(mu);
+        chunks.emplace_back(from, to);
+    });
+    ASSERT_LE(chunks.size(), n / grain);
+    u64 covered = 0;
+    for (auto &[from, to] : chunks) {
+        EXPECT_GE(to - from, grain);
+        covered += to - from;
+    }
+    EXPECT_EQ(covered, n);
+
+    // A range under 2 * grain cannot split: one inline chunk.
+    int calls = 0;
+    pool.parallelForChunked(0, 2 * grain - 1, grain,
+                            [&](u64 from, u64 to) {
+                                ++calls;
+                                EXPECT_EQ(from, 0u);
+                                EXPECT_EQ(to, 2 * grain - 1);
+                            });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ChunkedCapsChunkCountPerLane)
+{
+    ThreadPool pool(2);
+    const u64 n = 100000;
+    std::atomic<u64> calls{0};
+    pool.parallelForChunked(0, n, 1, [&](u64, u64) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_LE(calls.load(),
+              static_cast<u64>(pool.size()) *
+                  ThreadPool::kChunksPerLane);
+}
+
+TEST(ThreadPool, ChunkedNestedRunsInlineOnTheCallingThread)
+{
+    ThreadPool pool(4);
+    // From inside a parallel region the nested chunked call must not
+    // hand work back to the pool: every chunk runs on the thread that
+    // made the nested call (workers take the single-chunk inline path;
+    // the caller lane degrades to an inline chunk loop), and together
+    // the chunks cover the range exactly once.
+    std::vector<u64> covered(8, 0);
+    pool.parallelFor(0, 8, [&](u64 o) {
+        std::thread::id me = std::this_thread::get_id();
+        pool.parallelForChunked(0, 4096, 1, [&](u64 from, u64 to) {
+            EXPECT_EQ(std::this_thread::get_id(), me);
+            covered[o] += to - from;
+        });
+    });
+    for (u64 c : covered)
+        EXPECT_EQ(c, 4096u);
+}
+
+TEST(ThreadPool, ChunkedExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelForChunked(0, 10000, 1,
+                                [&](u64 from, u64) {
+                                    if (from > 0)
+                                        throw std::runtime_error("x");
+                                }),
+        std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallelForChunked(0, 10, 1, [&](u64 from, u64 to) {
+        count.fetch_add(static_cast<int>(to - from));
+    });
+    EXPECT_EQ(count.load(), 10);
+}
+
 TEST(ThreadPool, ExceptionPropagatesToCaller)
 {
     ThreadPool pool(4);
