@@ -12,6 +12,15 @@
  * the ones README "Performance" records; run it from a Release build —
  * Debug/sanitizer timings are noise.
  *
+ * Stage timings come from the serving telemetry itself (the
+ * ive_stage_latency_ns histograms in obs::Registry) rather than
+ * hand-rolled timers: the bench resets a stage's histogram, drives the
+ * stage, and reads p50/p99 back — so the bench exercises the same
+ * telemetry path operators see, and a histogram regression is a bench
+ * failure, not a silent skew. Stage _ms columns are p50; the _p99_ms
+ * columns expose tail latency. answer_ms stays a wall-clock mean over
+ * the qps loop (scripts/ci.sh gates on it).
+ *
  * Usage: bench_e2e_query [--quick] [--out FILE]
  *   --quick  small ring / database; used by scripts/ci.sh as a perf
  *            smoke (also verifies the decoded record, so a kernel
@@ -19,13 +28,13 @@
  *   --out    JSON destination (default BENCH_e2e.json)
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "pir/session.hh"
 
 using namespace ive;
@@ -35,33 +44,42 @@ namespace {
 double
 now()
 {
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double>(clock::now().time_since_epoch())
-        .count();
+    return static_cast<double>(obs::nowNs()) / 1e9;
 }
 
-/** Best-of-reps wall time of fn(), in seconds. */
-template <typename Fn>
-double
-bestOf(int reps, Fn &&fn)
+/** p50/p99 of one stage histogram, in milliseconds. */
+struct StageDist
 {
-    double best = 1e100;
-    for (int r = 0; r < reps; ++r) {
-        double t0 = now();
+    double p50Ms = 0;
+    double p99Ms = 0;
+};
+
+/**
+ * Resets the stage's latency histogram, runs fn() reps times, and
+ * reads the distribution back from the telemetry the stages record
+ * themselves (one sample per invocation).
+ */
+template <typename Fn>
+StageDist
+measureStage(obs::Histogram &h, int reps, Fn &&fn)
+{
+    h.reset();
+    for (int r = 0; r < reps; ++r)
         fn();
-        best = std::min(best, now() - t0);
-    }
-    return best;
+    obs::HistogramSnapshot s = h.snapshot();
+    return {static_cast<double>(s.percentile(0.50)) / 1e6,
+            static_cast<double>(s.percentile(0.99)) / 1e6};
 }
 
 struct StageTimes
 {
     int threads = 1;
-    double expandSec = 0;
-    double selectorsSec = 0;
-    double rowselSec = 0;
-    double foldSec = 0;
-    double answerSec = 0; ///< Full answer() including (de)serialization.
+    StageDist expand;
+    StageDist selectors;
+    StageDist rowsel;
+    StageDist fold;
+    StageDist answer;     ///< From the answer-stage histogram.
+    double answerSec = 0; ///< Wall-clock mean over the qps loop.
     double qps = 0;
 };
 
@@ -150,7 +168,15 @@ main(int argc, char **argv)
     PirServer server(ctx, params, &db, std::move(keys));
     PirQuery query = stage_client.makeQuery(query_entry);
 
-    const int reps = quick ? 2 : 3;
+    namespace names = obs::names;
+    obs::Registry &reg = obs::Registry::global();
+    obs::Histogram &h_expand = reg.histogram(names::kStageExpand);
+    obs::Histogram &h_selectors = reg.histogram(names::kStageSelectors);
+    obs::Histogram &h_rowsel = reg.histogram(names::kStageRowsel);
+    obs::Histogram &h_fold = reg.histogram(names::kStageFold);
+    obs::Histogram &h_answer = reg.histogram(names::kStageAnswer);
+
+    const int reps = quick ? 3 : 5;
     std::printf("bench_e2e_query: n=%llu k=%d D0=%llu d=%d "
                 "(%llu entries, %.1f MiB raw)%s\n",
                 (unsigned long long)params.he.n, ctx.ring().k(),
@@ -158,8 +184,8 @@ main(int argc, char **argv)
                 (unsigned long long)params.numEntries(),
                 params.dbBytes() / (1024.0 * 1024.0),
                 quick ? " [quick]" : "");
-    std::printf("%7s | %9s %9s %9s %9s | %9s %8s\n", "threads",
-                "expand ms", "sel ms", "rowsel ms", "fold ms",
+    std::printf("%7s | %9s %9s %9s %9s | %9s %8s  (stage ms = p50)\n",
+                "threads", "expand ms", "sel ms", "rowsel ms", "fold ms",
                 "answer ms", "qps");
 
     std::vector<StageTimes> results;
@@ -169,15 +195,18 @@ main(int argc, char **argv)
         st.threads = threads;
 
         std::vector<BfvCiphertext> leaves;
-        st.expandSec =
-            bestOf(reps, [&] { leaves = server.expandQuery(query); });
+        st.expand = measureStage(h_expand, reps, [&] {
+            leaves = server.expandQuery(query);
+        });
         std::vector<RgswCiphertext> selectors;
-        st.selectorsSec = bestOf(
-            reps, [&] { selectors = server.buildSelectors(leaves); });
+        st.selectors = measureStage(h_selectors, reps, [&] {
+            selectors = server.buildSelectors(leaves);
+        });
         std::vector<BfvCiphertext> entries;
-        st.rowselSec =
-            bestOf(reps, [&] { entries = server.rowSel(leaves); });
-        st.foldSec = bestOf(reps, [&] {
+        st.rowsel = measureStage(h_rowsel, reps, [&] {
+            entries = server.rowSel(leaves);
+        });
+        st.fold = measureStage(h_fold, reps, [&] {
             std::vector<BfvCiphertext> copy = entries;
             BfvCiphertext folded =
                 server.colTor(std::move(copy), selectors);
@@ -185,8 +214,10 @@ main(int argc, char **argv)
         });
 
         // End-to-end: loop answer() until enough wall time accumulates
-        // for a stable queries/sec figure.
+        // for a stable queries/sec figure; the per-query distribution
+        // comes from the answer-stage histogram over the same loop.
         (void)session.answer(query_blob); // Warm-up.
+        h_answer.reset();
         const double min_wall = quick ? 0.2 : 2.0;
         int iters = 0;
         double t0 = now(), elapsed = 0;
@@ -197,12 +228,15 @@ main(int argc, char **argv)
         }
         st.answerSec = elapsed / iters;
         st.qps = iters / elapsed;
+        obs::HistogramSnapshot ans = h_answer.snapshot();
+        st.answer = {static_cast<double>(ans.percentile(0.50)) / 1e6,
+                     static_cast<double>(ans.percentile(0.99)) / 1e6};
         results.push_back(st);
 
         std::printf("%7d | %9.2f %9.2f %9.2f %9.2f | %9.2f %8.3f\n",
-                    threads, st.expandSec * 1e3, st.selectorsSec * 1e3,
-                    st.rowselSec * 1e3, st.foldSec * 1e3,
-                    st.answerSec * 1e3, st.qps);
+                    threads, st.expand.p50Ms, st.selectors.p50Ms,
+                    st.rowsel.p50Ms, st.fold.p50Ms, st.answerSec * 1e3,
+                    st.qps);
     }
     ThreadPool::setGlobalThreads(1);
 
@@ -225,7 +259,9 @@ main(int argc, char **argv)
                  (unsigned long long)params.dbBytes());
     // Parallel efficiency per stage: (t_1 / t_T) / T — 1.0 is perfect
     // scaling, 1/T is no scaling. The 1-thread point is the divisor,
-    // so its own columns are 1.0 by construction.
+    // so its own columns are 1.0 by construction. Stage _ms columns
+    // are histogram p50s; _p99_ms columns are the tails; answer_ms is
+    // the wall-clock mean the CI perf gate reads.
     const StageTimes &base = results[0];
     auto eff = [&](double t1, double tt, int threads) {
         return tt > 0 ? (t1 / tt) / threads : 0.0;
@@ -237,17 +273,24 @@ main(int argc, char **argv)
                      "\"selectors_ms\": %.3f, \"rowsel_ms\": %.3f, "
                      "\"fold_ms\": %.3f, \"answer_ms\": %.3f, "
                      "\"queries_per_sec\": %.4f,\n"
+                     "     \"expand_p99_ms\": %.3f, "
+                     "\"selectors_p99_ms\": %.3f, "
+                     "\"rowsel_p99_ms\": %.3f, \"fold_p99_ms\": %.3f, "
+                     "\"answer_p50_ms\": %.3f, "
+                     "\"answer_p99_ms\": %.3f,\n"
                      "     \"expand_eff\": %.3f, \"selectors_eff\": %.3f, "
                      "\"rowsel_eff\": %.3f, \"fold_eff\": %.3f, "
                      "\"answer_eff\": %.3f, \"answer_speedup\": %.3f}",
-                     i == 0 ? "" : ",\n", st.threads,
-                     st.expandSec * 1e3, st.selectorsSec * 1e3,
-                     st.rowselSec * 1e3, st.foldSec * 1e3,
-                     st.answerSec * 1e3, st.qps,
-                     eff(base.expandSec, st.expandSec, st.threads),
-                     eff(base.selectorsSec, st.selectorsSec, st.threads),
-                     eff(base.rowselSec, st.rowselSec, st.threads),
-                     eff(base.foldSec, st.foldSec, st.threads),
+                     i == 0 ? "" : ",\n", st.threads, st.expand.p50Ms,
+                     st.selectors.p50Ms, st.rowsel.p50Ms, st.fold.p50Ms,
+                     st.answerSec * 1e3, st.qps, st.expand.p99Ms,
+                     st.selectors.p99Ms, st.rowsel.p99Ms, st.fold.p99Ms,
+                     st.answer.p50Ms, st.answer.p99Ms,
+                     eff(base.expand.p50Ms, st.expand.p50Ms, st.threads),
+                     eff(base.selectors.p50Ms, st.selectors.p50Ms,
+                         st.threads),
+                     eff(base.rowsel.p50Ms, st.rowsel.p50Ms, st.threads),
+                     eff(base.fold.p50Ms, st.fold.p50Ms, st.threads),
                      eff(base.answerSec, st.answerSec, st.threads),
                      st.answerSec > 0 ? base.answerSec / st.answerSec
                                       : 0.0);

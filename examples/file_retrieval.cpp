@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "common/units.hh"
+#include "obs/metrics.hh"
 #include "shard/coordinator.hh"
 #include "system/cluster.hh"
 
@@ -104,6 +105,13 @@ main()
                 (unsigned long long)sum.shardOps.externalProducts,
                 (unsigned long long)sum.foldOps.externalProducts);
     ok = ok && sharded_blob == response_blob;
+
+    // ---- Telemetry: what the process recorded while serving ----
+    // Every layer above (session bytes, stage latencies, pool chunks,
+    // shard traffic) recorded into the process-wide registry as a side
+    // effect; a /metrics endpoint would return exactly this text.
+    std::printf("process telemetry (Prometheus text exposition):\n%s\n",
+                obs::Registry::global().renderPrometheus().c_str());
 
     // ---- Part 3: paper-scale 1.25 TB file system ----
     u64 db_bytes = u64{1280} * GiB;

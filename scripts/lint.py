@@ -21,6 +21,12 @@ Rules (each line reports as ``path:line: [rule] message``):
                       ``#ifndef IVE_..._HH`` guard (the repo does not
                       use #pragma once).
   using-namespace-std ``using namespace std`` is banned everywhere.
+  raw-chrono          src/ must time work through obs::nowNs() /
+                      obs::StageSpan so every measurement lands in the
+                      telemetry registry; raw steady_clock /
+                      system_clock / high_resolution_clock ::now()
+                      reads are flagged outside src/obs/ (the sanctioned
+                      clock wrapper). Benches and tests are exempt.
 
 Escape hatch: a finding is suppressed when the flagged line, or the
 line directly above it, carries
@@ -71,6 +77,10 @@ SERIALIZE_RE = re.compile(
     r"|(?<![A-Za-z0-9_])reinterpret_cast\s*<"
 )
 USING_STD_RE = re.compile(r"using\s+namespace\s+std\b")
+RAW_CHRONO_RE = re.compile(
+    r"(?:steady_clock|system_clock|high_resolution_clock)"
+    r"\s*::\s*now\s*\("
+)
 GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(IVE_\w+_HH)\s*$", re.M)
 GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(IVE_\w+_HH)\s*$", re.M)
 
@@ -82,6 +92,7 @@ ALL_RULES = (
     "unchecked-serialize",
     "include-guard",
     "using-namespace-std",
+    "raw-chrono",
 )
 
 
@@ -194,6 +205,12 @@ def lint_file(f: Findings, root: Path, path: Path) -> None:
                 f, rel, raw_lines, code_lines, idx, "raw-assert",
                 RAW_ASSERT_RE,
                 "raw assert(); use ive_assert / ive_contract")
+        if in_src and not rel.startswith("src/obs/"):
+            check_line_rule(
+                f, rel, raw_lines, code_lines, idx, "raw-chrono",
+                RAW_CHRONO_RE,
+                "raw clock read; time through obs::nowNs() / "
+                "obs::StageSpan so the sample lands in telemetry")
         if rel in HOT_PATH_FILES:
             check_line_rule(
                 f, rel, raw_lines, code_lines, idx, "hot-path-alloc",
@@ -283,6 +300,26 @@ def self_test() -> int:
         ("tests/t.cc", "using std::vector;\n", None),
         # tests/ may assert and allocate freely.
         ("tests/t.cc", "assert(a); v.resize(8);\n", None),
+        ("src/x.cc",
+         "auto t = std::chrono::steady_clock::now();\n", "raw-chrono"),
+        ("src/x.cc",
+         "auto t = high_resolution_clock::now();\n", "raw-chrono"),
+        ("src/x.cc", "u64 t = obs::nowNs();\n", None),
+        # src/obs/ is the sanctioned clock wrapper; benches and tests
+        # time wall clocks freely.
+        ("src/obs/metrics.cc",
+         "auto t = std::chrono::steady_clock::now();\n", None),
+        ("bench/b.cc",
+         "auto t = std::chrono::steady_clock::now();\n", None),
+        ("tests/t.cc",
+         "auto t = std::chrono::system_clock::now();\n", None),
+        ("src/x.cc",
+         "// lint: allow(raw-chrono) -- deadline arithmetic needs a "
+         "time_point\n"
+         "auto t = std::chrono::steady_clock::now();\n", None),
+        # An alias read (Clock::now()) is out of the rule's reach by
+        # design; only spelled-out clock types are flagged.
+        ("src/x.cc", "auto t = Clock::now();\n", None),
     ]
 
     failures = 0

@@ -6,12 +6,75 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace ive {
 
 namespace {
 
 thread_local bool tls_pool_worker = false;
+
+/**
+ * Pool telemetry (obs::Registry). Utilization over a window is
+ * busy_ns_total delta / (wall ns * threads); queue pressure shows as
+ * active_workers vs threads. Handles are resolved once; recording is
+ * relaxed atomics only, so claim loops stay lock-free.
+ */
+struct PoolMetrics
+{
+    obs::Counter &tasks;
+    obs::Counter &batches;
+    obs::Counter &inlineBatches;
+    obs::Counter &busyNs;
+    obs::Gauge &threads;
+    obs::Gauge &activeWorkers;
+    obs::Histogram &taskNs;
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    namespace n = obs::names;
+    obs::Registry &r = obs::Registry::global();
+    static PoolMetrics m{
+        r.counter(n::kPoolTasks, "chunks executed by the pool"),
+        r.counter(n::kPoolBatches, "parallel-for batches dispatched"),
+        r.counter(n::kPoolInline,
+                  "parallel-for calls degraded to inline execution"),
+        r.counter(n::kPoolBusyNs,
+                  "nanoseconds lanes spent executing chunks"),
+        r.gauge(n::kPoolThreads, "configured pool parallelism"),
+        r.gauge(n::kPoolActiveWorkers,
+                "lanes currently executing a batch"),
+        r.histogram(n::kPoolTaskNs, "per-chunk execution latency"),
+    };
+    return m;
+}
+
+/** Times one chunk execution and records task/busy/trace telemetry.
+ *  Exceptions propagate to the caller's handler untimed aside from the
+ *  work already done. */
+template <typename Fn>
+void
+runTimedChunk(PoolMetrics &pm, const Fn &fn)
+{
+    u64 t0 = obs::nowNs();
+    try {
+        fn();
+    } catch (...) {
+        u64 dur = obs::nowNs() - t0;
+        pm.taskNs.record(dur);
+        pm.busyNs.add(dur);
+        pm.tasks.add(1);
+        throw;
+    }
+    u64 dur = obs::nowNs() - t0;
+    pm.taskNs.record(dur);
+    pm.busyNs.add(dur);
+    pm.tasks.add(1);
+    if (obs::Tracer::global().capturing())
+        obs::Tracer::global().recordEvent("pool.chunk", t0, dur);
+}
 
 } // namespace
 
@@ -38,6 +101,9 @@ ThreadPool::ThreadPool(int num_threads)
     workers_.reserve(static_cast<size_t>(numThreads_ - 1));
     for (int i = 0; i < numThreads_ - 1; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    // The gauge reflects the most recently constructed pool; in
+    // practice that is the (re)configured global pool.
+    poolMetrics().threads.set(numThreads_);
 }
 
 ThreadPool::~ThreadPool()
@@ -79,18 +145,21 @@ ThreadPool::workerLoop()
             ++batch->activeWorkers;
         }
 
+        PoolMetrics &pm = poolMetrics();
+        pm.activeWorkers.add(1);
         std::exception_ptr error;
         for (;;) {
             u64 i = batch->next.fetch_add(1, std::memory_order_relaxed);
             if (i >= batch->end)
                 break;
             try {
-                (*batch->fn)(i);
+                runTimedChunk(pm, [&] { (*batch->fn)(i); });
             } catch (...) {
                 error = std::current_exception();
                 break;
             }
         }
+        pm.activeWorkers.add(-1);
 
         {
             LockGuard lock(mu_);
@@ -131,6 +200,7 @@ ThreadPool::parallelForChunked(u64 begin, u64 end, u64 min_grain,
     // and trivial cases run inline: the coarse level already owns the
     // pool, and inline nesting cannot deadlock.
     if (numThreads_ <= 1 || chunks <= 1 || onWorkerThread()) {
+        poolMetrics().inlineBatches.add(1);
         fn(begin, end);
         return;
     }
@@ -157,6 +227,7 @@ ThreadPool::runBatch(u64 count, const std::function<void(u64)> &fn)
     batch.fn = &fn;
     batch.next.store(0, std::memory_order_relaxed);
 
+    PoolMetrics &pm = poolMetrics();
     {
         UniqueLock lock(mu_);
         if (current_ != nullptr) {
@@ -164,6 +235,7 @@ ThreadPool::runBatch(u64 count, const std::function<void(u64)> &fn)
             // inline loop rather than queueing (keeps latency bounded
             // and the pool logic single-batch).
             lock.unlock();
+            pm.inlineBatches.add(1);
             for (u64 i = 0; i < count; ++i)
                 fn(i);
             return;
@@ -171,21 +243,24 @@ ThreadPool::runBatch(u64 count, const std::function<void(u64)> &fn)
         current_ = &batch;
         ++generation_;
     }
+    pm.batches.add(1);
     wake_.notify_all();
 
     // The calling thread is one of the lanes.
+    pm.activeWorkers.add(1);
     std::exception_ptr error;
     for (;;) {
         u64 i = batch.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count)
             break;
         try {
-            fn(i);
+            runTimedChunk(pm, [&] { fn(i); });
         } catch (...) {
             error = std::current_exception();
             break;
         }
     }
+    pm.activeWorkers.add(-1);
 
     std::exception_ptr first;
     {

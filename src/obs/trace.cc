@@ -1,0 +1,169 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ive {
+namespace obs {
+
+Tracer::Tracer()
+{
+    reloadEnv();
+}
+
+void
+Tracer::reloadEnv()
+{
+    const char *env = std::getenv("IVE_TRACE_DIR");
+    configure(env != nullptr ? env : "");
+}
+
+void
+Tracer::configure(const std::string &dir)
+{
+    {
+        LockGuard lock(mu_);
+        dir_ = dir;
+    }
+    enabled_.store(!dir.empty(), std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuf &
+Tracer::threadBuf()
+{
+    // One buffer per thread, registered on first use and kept alive by
+    // the shared_ptr in bufs_ even after the thread exits (the list is
+    // bounded by the number of threads ever created — fine for a
+    // debug-only feature).
+    thread_local std::shared_ptr<ThreadBuf> buf = [this] {
+        auto b = std::make_shared<ThreadBuf>();
+        b->tid = nextTid_.fetch_add(1, std::memory_order_relaxed);
+        LockGuard lock(mu_);
+        bufs_.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+void
+Tracer::recordEvent(const char *name, u64 t0_ns, u64 dur_ns)
+{
+    u64 gen = active_.load(std::memory_order_acquire);
+    if (gen == 0)
+        return;
+    ThreadBuf &b = threadBuf();
+    LockGuard lock(b.mu);
+    b.events.push_back({name, t0_ns, dur_ns, b.tid, gen});
+}
+
+u64
+Tracer::tryBegin()
+{
+    if (!enabled() ||
+        filesWritten_.load(std::memory_order_relaxed) >= kMaxTraceFiles)
+        return 0;
+    u64 gen = nextGen_.fetch_add(1, std::memory_order_relaxed);
+    u64 expected = 0;
+    if (!active_.compare_exchange_strong(expected, gen,
+                                         std::memory_order_acq_rel))
+        return 0; // Another query is being captured; skip this one.
+    return gen;
+}
+
+void
+Tracer::finish(u64 gen, const char *label, u64 t0)
+{
+    // Stop new appends first, then drain. A racing span that read the
+    // old generation may still land an event after the drain; it is
+    // discarded by the next drain's gen filter.
+    active_.store(0, std::memory_order_release);
+
+    std::vector<std::shared_ptr<ThreadBuf>> bufs;
+    std::string dir;
+    {
+        LockGuard lock(mu_);
+        bufs = bufs_;
+        dir = dir_;
+    }
+    std::vector<Event> events;
+    for (auto &b : bufs) {
+        LockGuard lock(b->mu);
+        for (const Event &e : b->events) {
+            if (e.gen == gen)
+                events.push_back(e);
+        }
+        b->events.clear(); // Older stale events are dropped with it.
+    }
+    // Deterministic merge: by start time, longer (enclosing) spans
+    // first on ties, then by thread and name for total order.
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.t0 != b.t0)
+                      return a.t0 < b.t0;
+                  if (a.dur != b.dur)
+                      return a.dur > b.dur;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return std::strcmp(a.name, b.name) < 0;
+              });
+
+    u64 seq = filesWritten_.fetch_add(1, std::memory_order_relaxed);
+    if (seq >= kMaxTraceFiles || dir.empty())
+        return;
+    char name[64];
+    std::snprintf(name, sizeof name, "/trace_%03" PRIu64 "_%s.json",
+                  seq, label);
+    std::string path = dir + name;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr,
+                     "ive: IVE_TRACE_DIR: cannot write %s; tracing "
+                     "disabled\n",
+                     path.c_str());
+        configure("");
+        return;
+    }
+    // Chrome trace-event format: complete events, microsecond
+    // timestamps relative to the query start.
+    std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        double ts = e.t0 >= t0
+                        ? static_cast<double>(e.t0 - t0) / 1e3
+                        : 0.0;
+        std::fprintf(f,
+                     "%s  {\"name\": \"%s\", \"cat\": \"pir\", "
+                     "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                     "\"ts\": %.3f, \"dur\": %.3f}",
+                     i == 0 ? "" : ",\n", e.name, e.tid, ts,
+                     static_cast<double>(e.dur) / 1e3);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer *g = new Tracer();
+    return *g;
+}
+
+Tracer::QueryTrace::QueryTrace(const char *label) : label_(label)
+{
+    gen_ = Tracer::global().tryBegin();
+    if (gen_ != 0)
+        t0_ = nowNs();
+}
+
+Tracer::QueryTrace::~QueryTrace()
+{
+    if (gen_ != 0)
+        Tracer::global().finish(gen_, label_, t0_);
+}
+
+} // namespace obs
+} // namespace ive

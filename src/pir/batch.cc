@@ -1,8 +1,7 @@
 #include "pir/batch.hh"
 
-#include <chrono>
-
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
 
 namespace ive {
 
@@ -11,10 +10,7 @@ namespace {
 double
 now()
 {
-    using clock = std::chrono::steady_clock;
-    return std::chrono::duration<double>(
-               clock::now().time_since_epoch())
-        .count();
+    return static_cast<double>(obs::nowNs()) / 1e9;
 }
 
 } // namespace

@@ -5,11 +5,51 @@
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 #include "poly/kernels.hh"
 
 namespace ive {
 
 namespace {
+
+/**
+ * Serving-stage telemetry. Histograms time whole stage invocations;
+ * the op counters mirror the per-instance ServerCounters into the
+ * process-wide registry (ServerCounters stays the source of truth for
+ * counters(), which tests pin exactly).
+ */
+struct StageMetrics
+{
+    obs::Histogram &expand;
+    obs::Histogram &selectors;
+    obs::Histogram &rowsel;
+    obs::Histogram &fold;
+    obs::Counter &subsOps;
+    obs::Counter &externalProducts;
+    obs::Counter &plainMulAccs;
+};
+
+StageMetrics &
+stageMetrics()
+{
+    namespace n = obs::names;
+    obs::Registry &r = obs::Registry::global();
+    // Label variants of one family share the HELP header, so every
+    // stage / op registers the same family-level help string.
+    static StageMetrics m{
+        r.histogram(n::kStageExpand, "serving stage latency, by stage"),
+        r.histogram(n::kStageSelectors,
+                    "serving stage latency, by stage"),
+        r.histogram(n::kStageRowsel, "serving stage latency, by stage"),
+        r.histogram(n::kStageFold, "serving stage latency, by stage"),
+        r.counter(n::kOpsSubs, "pipeline operations executed, by op"),
+        r.counter(n::kOpsExternalProduct,
+                  "pipeline operations executed, by op"),
+        r.counter(n::kOpsPlainMulAcc,
+                  "pipeline operations executed, by op"),
+    };
+    return m;
+}
 
 /**
  * Outer-loop dispatch for pipeline stages whose trip count can drop
@@ -114,6 +154,8 @@ PirServer::expandAndSelect(const PirQuery &query, int sel_from,
                            int sel_to,
                            std::vector<RgswCiphertext> &selectors) const
 {
+    StageMetrics &sm = stageMetrics();
+    obs::StageSpan span(&sm.expand, "expand");
     int depth = params_.expansionDepth();
     u64 used = params_.usedLeaves();
     ive_assert(sel_from >= 0 && sel_from <= sel_to &&
@@ -193,6 +235,7 @@ PirServer::expandAndSelect(const PirQuery &query, int sel_from,
         });
         counters_.subsOps.fetch_add(nodes.size(),
                                     std::memory_order_relaxed);
+        sm.subsOps.add(nodes.size());
         nodes = std::move(next);
     }
     if (depth == 0) {
@@ -203,6 +246,7 @@ PirServer::expandAndSelect(const PirQuery &query, int sel_from,
     counters_.externalProducts.fetch_add(
         static_cast<u64>(sel_to - sel_from) * ell,
         std::memory_order_relaxed);
+    sm.externalProducts.add(static_cast<u64>(sel_to - sel_from) * ell);
 
     std::vector<BfvCiphertext> leaves(used);
     for (auto &node : nodes) {
@@ -222,6 +266,8 @@ std::vector<RgswCiphertext>
 PirServer::buildSelectors(const std::vector<BfvCiphertext> &leaves,
                           int from, int to) const
 {
+    StageMetrics &sm = stageMetrics();
+    obs::StageSpan span(&sm.selectors, "selectors");
     ive_assert(from >= 0 && from <= to && to <= params_.d);
     const Gadget &g = ctx_.gadgetRgsw();
     int ell = g.ell();
@@ -240,6 +286,7 @@ PirServer::buildSelectors(const std::vector<BfvCiphertext> &leaves,
     });
     counters_.externalProducts.fetch_add(
         static_cast<u64>(to - from) * ell, std::memory_order_relaxed);
+    sm.externalProducts.add(static_cast<u64>(to - from) * ell);
     return selectors;
 }
 
@@ -264,6 +311,8 @@ std::vector<BfvCiphertext>
 PirServer::rowSel(const std::vector<BfvCiphertext> &leaves,
                   int plane) const
 {
+    StageMetrics &sm = stageMetrics();
+    obs::StageSpan span(&sm.rowsel, "rowsel");
     ive_assert(leaves.size() >= params_.d0);
     u64 cols = localColumns();
     u64 first = db_->firstEntry();
@@ -332,6 +381,7 @@ PirServer::rowSel(const std::vector<BfvCiphertext> &leaves,
         });
         counters_.plainMulAccs.fetch_add(cols * d0,
                                          std::memory_order_relaxed);
+        sm.plainMulAccs.add(cols * d0);
         return out;
     }
 
@@ -421,6 +471,7 @@ PirServer::rowSel(const std::vector<BfvCiphertext> &leaves,
     });
     counters_.plainMulAccs.fetch_add(cols * d0,
                                      std::memory_order_relaxed);
+    sm.plainMulAccs.add(cols * d0);
     return out;
 }
 
@@ -452,6 +503,8 @@ PirServer::foldTournament(std::vector<BfvCiphertext> entries,
                           const std::vector<RgswCiphertext> &sel,
                           int sel_offset) const
 {
+    StageMetrics &sm = stageMetrics();
+    obs::StageSpan span(&sm.fold, "fold");
     ive_assert(isPow2(entries.size()));
     int levels = log2Exact(entries.size());
     ive_assert(sel_offset >= 0 &&
@@ -474,6 +527,7 @@ PirServer::foldTournament(std::vector<BfvCiphertext> entries,
         });
         counters_.externalProducts.fetch_add(num,
                                              std::memory_order_relaxed);
+        sm.externalProducts.add(num);
     }
     return entries[0];
 }
@@ -483,6 +537,8 @@ PirServer::colTorScheduled(std::vector<BfvCiphertext> entries,
                            const std::vector<RgswCiphertext> &sel,
                            const std::vector<TreeOp> &schedule) const
 {
+    StageMetrics &sm = stageMetrics();
+    obs::StageSpan span(&sm.fold, "fold");
     ive_assert(entries.size() == (u64{1} << params_.d));
     ive_assert(validateReductionSchedule(params_.d, schedule));
     for (const auto &op : schedule) {
@@ -493,6 +549,7 @@ PirServer::colTorScheduled(std::vector<BfvCiphertext> entries,
     }
     counters_.externalProducts.fetch_add(schedule.size(),
                                          std::memory_order_relaxed);
+    sm.externalProducts.add(schedule.size());
     return entries[0];
 }
 

@@ -2,8 +2,46 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 
 namespace ive {
+
+namespace {
+
+/**
+ * Request/response accounting at the bytes-only session boundary plus
+ * the end-to-end answer and serialize stage histograms. The answer
+ * span opens after the QueryTrace so trace capture sees the whole
+ * query, including response serialization.
+ */
+struct SessionMetrics
+{
+    obs::Counter &queries;
+    obs::Counter &requestBytes;
+    obs::Counter &responseBytes;
+    obs::Histogram &answerNs;
+    obs::Histogram &serializeNs;
+};
+
+SessionMetrics &
+sessionMetrics()
+{
+    namespace n = obs::names;
+    obs::Registry &r = obs::Registry::global();
+    static SessionMetrics m{
+        r.counter(n::kSessionQueries, "queries answered over the wire"),
+        r.counter(n::kSessionRequestBytes,
+                  "query blob bytes received"),
+        r.counter(n::kSessionResponseBytes,
+                  "response blob bytes produced"),
+        r.histogram(n::kStageAnswer, "serving stage latency, by stage"),
+        r.histogram(n::kStageSerialize,
+                    "serving stage latency, by stage"),
+    };
+    return m;
+}
+
+} // namespace
 
 ClientSession::ClientSession(const PirParams &params, u64 seed)
     : params_(params), ctx_(params_.he), client_(ctx_, params_, seed)
@@ -155,30 +193,63 @@ std::vector<u8>
 ServerSession::answer(std::span<const u8> query_blob) const
 {
     requireFullDatabase();
+    SessionMetrics &sm = sessionMetrics();
+    obs::Tracer::QueryTrace trace("answer");
+    obs::StageSpan whole(&sm.answerNs, "answer");
+    sm.requestBytes.add(query_blob.size());
     PirQuery q = deserializeQuery(ctx_, query_blob);
     PirResponse resp{server().processAllPlanes(q)};
     queriesAnswered_.fetch_add(1, std::memory_order_relaxed);
-    return serializeResponse(ctx_, resp);
+    std::vector<u8> out;
+    {
+        obs::StageSpan ser(&sm.serializeNs, "serialize");
+        out = serializeResponse(ctx_, resp);
+    }
+    sm.responseBytes.add(out.size());
+    sm.queries.add(1);
+    return out;
 }
 
 std::vector<u8>
 ServerSession::answerPlane(std::span<const u8> query_blob, int plane) const
 {
     requireFullDatabase();
+    SessionMetrics &sm = sessionMetrics();
+    obs::Tracer::QueryTrace trace("plane");
+    obs::StageSpan whole(&sm.answerNs, "answer");
+    sm.requestBytes.add(query_blob.size());
     PirQuery q = deserializeQuery(ctx_, query_blob);
     PirResponse resp{{server().process(q, plane)}};
     queriesAnswered_.fetch_add(1, std::memory_order_relaxed);
-    return serializeResponse(ctx_, resp);
+    std::vector<u8> out;
+    {
+        obs::StageSpan ser(&sm.serializeNs, "serialize");
+        out = serializeResponse(ctx_, resp);
+    }
+    sm.responseBytes.add(out.size());
+    sm.queries.add(1);
+    return out;
 }
 
 std::vector<u8>
 ServerSession::answerPartial(std::span<const u8> query_blob) const
 {
+    SessionMetrics &sm = sessionMetrics();
+    obs::Tracer::QueryTrace trace("partial");
+    obs::StageSpan whole(&sm.answerNs, "answer");
+    sm.requestBytes.add(query_blob.size());
     PirQuery q = deserializeQuery(ctx_, query_blob);
     PirPartialResponse partial{shard_, numShards_,
                                server().processAllPlanesPartial(q)};
     queriesAnswered_.fetch_add(1, std::memory_order_relaxed);
-    return serializePartialResponse(ctx_, partial);
+    std::vector<u8> out;
+    {
+        obs::StageSpan ser(&sm.serializeNs, "serialize");
+        out = serializePartialResponse(ctx_, partial);
+    }
+    sm.responseBytes.add(out.size());
+    sm.queries.add(1);
+    return out;
 }
 
 std::vector<std::vector<u8>>
@@ -186,12 +257,16 @@ ServerSession::answerBatch(
     const std::vector<std::vector<u8>> &query_blobs) const
 {
     requireFullDatabase();
+    SessionMetrics &sm = sessionMetrics();
+    obs::Tracer::QueryTrace trace("batch");
     // Deserialize up front so a malformed blob throws on the calling
     // thread, then answer in parallel (queries are independent).
     std::vector<PirQuery> queries;
     queries.reserve(query_blobs.size());
-    for (const auto &blob : query_blobs)
+    for (const auto &blob : query_blobs) {
+        sm.requestBytes.add(blob.size());
         queries.push_back(deserializeQuery(ctx_, blob));
+    }
 
     const PirServer &srv = server();
     std::vector<std::vector<u8>> responses(queries.size());
@@ -202,17 +277,24 @@ ServerSession::answerBatch(
         // fold pairs, per-residue kernels) spreads across the pool
         // instead of pinning whole queries to single workers.
         for (u64 i = 0; i < queries.size(); ++i) {
+            obs::StageSpan whole(&sm.answerNs, "answer");
             PirResponse resp{srv.processAllPlanes(queries[i])};
+            obs::StageSpan ser(&sm.serializeNs, "serialize");
             responses[i] = serializeResponse(ctx_, resp);
         }
     } else {
         parallelFor(0, queries.size(), [&](u64 i) {
+            obs::StageSpan whole(&sm.answerNs, "answer");
             PirResponse resp{srv.processAllPlanes(queries[i])};
+            obs::StageSpan ser(&sm.serializeNs, "serialize");
             responses[i] = serializeResponse(ctx_, resp);
         });
     }
     queriesAnswered_.fetch_add(queries.size(),
                                std::memory_order_relaxed);
+    for (const auto &blob : responses)
+        sm.responseBytes.add(blob.size());
+    sm.queries.add(queries.size());
     return responses;
 }
 

@@ -2,8 +2,41 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 
 namespace ive {
+
+namespace {
+
+/**
+ * Coordinator traffic mirrored into the process-wide registry. The
+ * per-instance atomics stay the source of truth for summary(); these
+ * only aggregate across coordinators for render().
+ */
+struct CoordMetrics
+{
+    obs::Counter &queries;
+    obs::Counter &broadcastBytes;
+    obs::Counter &gatherBytes;
+};
+
+CoordMetrics &
+coordMetrics()
+{
+    namespace n = obs::names;
+    obs::Registry &r = obs::Registry::global();
+    static CoordMetrics m{
+        r.counter(n::kShardQueries,
+                  "queries folded by shard coordinators"),
+        r.counter(n::kShardBroadcastBytes,
+                  "query bytes broadcast to shards"),
+        r.counter(n::kShardGatherBytes,
+                  "partial-response bytes gathered from shards"),
+    };
+    return m;
+}
+
+} // namespace
 
 ShardCoordinator::ShardCoordinator(std::span<const u8> params_blob,
                                    u32 num_shards)
@@ -62,6 +95,7 @@ ShardCoordinator::answer(std::span<const u8> query_blob)
 std::vector<u8>
 ShardCoordinator::answerOne(std::span<const u8> query_blob)
 {
+    obs::Tracer::QueryTrace trace("shard_answer");
     // Parse once up front: a malformed query must reach no shard.
     PirQuery query = deserializeQuery(ctx_, query_blob);
 
@@ -74,6 +108,8 @@ ShardCoordinator::answerOne(std::span<const u8> query_blob)
     });
     broadcastBytes_.fetch_add(query_blob.size() * shards_.size(),
                               std::memory_order_relaxed);
+    coordMetrics().broadcastBytes.add(query_blob.size() *
+                                      shards_.size());
     return finishFold(query, partials);
 }
 
@@ -124,6 +160,7 @@ ShardCoordinator::finishFold(
         partials[idx] = std::move(p);
     }
     gatherBytes_.fetch_add(gather_bytes, std::memory_order_relaxed);
+    coordMetrics().gatherBytes.add(gather_bytes);
 
     PirResponse resp;
     if (n == 1) {
@@ -155,6 +192,7 @@ ShardCoordinator::finishFold(
         }
     }
     queries_.fetch_add(1, std::memory_order_relaxed);
+    coordMetrics().queries.add(1);
     return serializeResponse(ctx_, resp);
 }
 

@@ -3,8 +3,47 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace ive {
+
+namespace {
+
+/**
+ * Dispatcher telemetry: queue pressure (depth gauge, window-wait
+ * histogram) and batching efficiency (batch-size histogram). The
+ * DispatcherStats struct stays the exact per-instance view; these
+ * aggregate across dispatchers for render().
+ */
+struct DispatchMetrics
+{
+    obs::Counter &submitted;
+    obs::Counter &completed;
+    obs::Counter &batches;
+    obs::Gauge &queueDepth;
+    obs::Histogram &windowWaitNs;
+    obs::Histogram &batchSize;
+};
+
+DispatchMetrics &
+dispatchMetrics()
+{
+    namespace n = obs::names;
+    obs::Registry &r = obs::Registry::global();
+    static DispatchMetrics m{
+        r.counter(n::kDispatchSubmitted, "queries submitted"),
+        r.counter(n::kDispatchCompleted,
+                  "query futures resolved (success or error)"),
+        r.counter(n::kDispatchBatches, "batches dispatched"),
+        r.gauge(n::kDispatchQueueDepth, "queries waiting for a window"),
+        r.histogram(n::kDispatchWindowWaitNs,
+                    "submit-to-dispatch wait per query"),
+        r.histogram(n::kDispatchBatchSize, "queries per batch"),
+    };
+    return m;
+}
+
+} // namespace
 
 ShardDispatcher::ShardDispatcher(ShardCoordinator &coordinator,
                                  const SchedulerConfig &cfg)
@@ -28,8 +67,10 @@ ShardDispatcher::~ShardDispatcher()
 std::future<std::vector<u8>>
 ShardDispatcher::submit(std::vector<u8> query_blob)
 {
+    DispatchMetrics &dm = dispatchMetrics();
     Pending p;
     p.arrival = Clock::now();
+    p.arrivalNs = obs::nowNs();
     p.blob = std::move(query_blob);
     std::future<std::vector<u8>> fut = p.promise.get_future();
     {
@@ -39,7 +80,9 @@ ShardDispatcher::submit(std::vector<u8> query_blob)
                 "ShardDispatcher: submit after shutdown");
         queue_.push_back(std::move(p));
         ++stats_.submitted;
+        dm.queueDepth.set(static_cast<i64>(queue_.size()));
     }
+    dm.submitted.add(1);
     wake_.notify_all();
     return fut;
 }
@@ -104,7 +147,17 @@ ShardDispatcher::runLoop()
         if (full && batch.size() == static_cast<size_t>(cfg_.maxBatch))
             ++stats_.fullBatches;
         stats_.maxBatch = std::max(stats_.maxBatch, u64{take});
+        DispatchMetrics &dm = dispatchMetrics();
+        dm.queueDepth.set(static_cast<i64>(queue_.size()));
         lk.unlock();
+
+        dm.batches.add(1);
+        dm.batchSize.record(take);
+        const u64 dispatch_ns = obs::nowNs();
+        for (const Pending &p : batch)
+            dm.windowWaitNs.record(dispatch_ns >= p.arrivalNs
+                                       ? dispatch_ns - p.arrivalNs
+                                       : 0);
 
         std::vector<std::vector<u8>> blobs;
         blobs.reserve(batch.size());
@@ -122,6 +175,7 @@ ShardDispatcher::runLoop()
                 p.promise.set_exception(std::current_exception());
         }
 
+        dm.completed.add(batch.size());
         lk.lock();
         stats_.completed += batch.size();
         inFlight_ = false;

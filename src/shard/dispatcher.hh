@@ -71,6 +71,7 @@ class ShardDispatcher
     struct Pending
     {
         Clock::time_point arrival;
+        u64 arrivalNs = 0; ///< obs::nowNs() at submit, for telemetry.
         std::vector<u8> blob;
         std::promise<std::vector<u8>> promise;
     };
