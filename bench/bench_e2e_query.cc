@@ -21,21 +21,32 @@
  * columns expose tail latency. answer_ms stays a wall-clock mean over
  * the qps loop (scripts/ci.sh gates on it).
  *
- * Usage: bench_e2e_query [--quick] [--out FILE]
- *   --quick  small ring / database; used by scripts/ci.sh as a perf
- *            smoke (also verifies the decoded record, so a kernel
- *            regression that only shows up under NDEBUG still fails CI)
- *   --out    JSON destination (default BENCH_e2e.json)
+ * Usage: bench_e2e_query [--quick] [--inject] [--out FILE]
+ *   --quick   small ring / database; used by scripts/ci.sh as a perf
+ *             smoke (also verifies the decoded record, so a kernel
+ *             regression that only shows up under NDEBUG still fails CI)
+ *   --inject  after the clean sweep (whose numbers it cannot perturb —
+ *             failpoints arm only once the sweep is done), drive a
+ *             replicated sharded deployment under the standard
+ *             delay+error IVE_FAILPOINTS recipe plus an overload burst
+ *             through the bounded dispatcher, verify every fault-path
+ *             response stays byte-identical to the clean server, and
+ *             append a "fault_recovery" block to the JSON
+ *   --out     JSON destination (default BENCH_e2e.json)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <string>
 #include <vector>
 
+#include "common/failpoint.hh"
 #include "common/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "pir/session.hh"
+#include "shard/dispatcher.hh"
 
 using namespace ive;
 
@@ -93,21 +104,40 @@ dbContent(const PirParams &params, u64 entry, int plane)
     return coeffs;
 }
 
+/** Results of the --inject fault-recovery run. */
+struct FaultRecovery
+{
+    bool ran = false;
+    const char *recipe = "";
+    int queries = 0;
+    double p50Ms = 0;
+    double p99Ms = 0;
+    u64 faultsInjected = 0;
+    u64 retries = 0;
+    u64 failovers = 0;
+    u64 burst = 0;
+    u64 shed = 0;
+    u64 answered = 0;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool quick = false;
+    bool inject = false;
     std::string out_path = "BENCH_e2e.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (std::strcmp(argv[i], "--inject") == 0) {
+            inject = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: bench_e2e_query [--quick] [--out FILE]\n");
+            std::fprintf(stderr, "usage: bench_e2e_query [--quick] "
+                                 "[--inject] [--out FILE]\n");
             return 2;
         }
     }
@@ -240,6 +270,91 @@ main(int argc, char **argv)
     }
     ThreadPool::setGlobalThreads(1);
 
+    // Fault-recovery run: arms failpoints only now, after every clean
+    // measurement above, so the sweep's numbers are untouched (a
+    // disarmed site costs one relaxed load).
+    FaultRecovery fr;
+    if (inject) {
+        fr.ran = true;
+        fr.recipe = "shard.answer.delay=every:5,arg=2;"
+                    "shard.answer.error=nth:3";
+        FailoverConfig fo;
+        fo.replicas = 2;
+        fo.backoffBaseSec = 1e-4;
+        fo.backoffCapSec = 1e-3;
+        ShardCoordinator coord(params_blob, /*num_shards=*/2, fo);
+        coord.fillDatabase([&](u64 entry, int plane) {
+            return dbContent(params, entry, plane);
+        });
+        coord.ingestKeys(key_blob);
+        const std::vector<u8> want = session.answer(query_blob);
+
+        fail::armFromSpec(fr.recipe);
+        fr.queries = quick ? 8 : 10;
+        std::vector<double> lat_ms;
+        for (int i = 0; i < fr.queries; ++i) {
+            double q0 = now();
+            std::vector<u8> got = coord.answer(query_blob);
+            lat_ms.push_back((now() - q0) * 1e3);
+            // Recovery must be invisible in the bytes: failover hands
+            // the slice to a replica computing the identical partial.
+            if (got != want) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: fault-path response diverged (query %d)\n", i);
+                return 1;
+            }
+        }
+        fr.faultsInjected = fail::point("shard.answer.delay").fires() +
+                            fail::point("shard.answer.error").fires();
+        ShardCountersSummary sum = coord.summary();
+        fr.retries = sum.retries;
+        fr.failovers = sum.failovers;
+
+        // Overload burst through the bounded dispatcher: the window
+        // stays open and the batch cannot fill, so admission sheds
+        // everything past the high-water mark deterministically.
+        SchedulerConfig cfg;
+        cfg.windowSec = 30.0;
+        cfg.maxBatch = 8;
+        cfg.maxQueue = 2;
+        fr.burst = 8;
+        {
+            ShardDispatcher dispatcher(coord, cfg);
+            std::vector<std::future<std::vector<u8>>> futures;
+            for (u64 i = 0; i < fr.burst; ++i)
+                futures.push_back(dispatcher.submit(query_blob));
+            dispatcher.shutdown(); // Flushes the accepted queries.
+            for (auto &f : futures) {
+                try {
+                    if (f.get() != want) {
+                        std::fprintf(stderr, "FAIL: burst response "
+                                             "diverged\n");
+                        return 1;
+                    }
+                    ++fr.answered;
+                } catch (const Overloaded &) {
+                    // Shed at admission; counted via stats below.
+                }
+            }
+            fr.shed = dispatcher.stats().shed;
+        }
+        fail::disarmAll();
+
+        std::sort(lat_ms.begin(), lat_ms.end());
+        fr.p50Ms = lat_ms[lat_ms.size() / 2];
+        fr.p99Ms = lat_ms.back();
+        std::printf("fault recovery: %d queries under '%s': p50 %.2f ms "
+                    "p99 %.2f ms, %llu faults, %llu retries, "
+                    "%llu failovers; burst %llu -> %llu shed\n",
+                    fr.queries, fr.recipe, fr.p50Ms, fr.p99Ms,
+                    (unsigned long long)fr.faultsInjected,
+                    (unsigned long long)fr.retries,
+                    (unsigned long long)fr.failovers,
+                    (unsigned long long)fr.burst,
+                    (unsigned long long)fr.shed);
+    }
+
     FILE *json = std::fopen(out_path.c_str(), "w");
     if (!json) {
         std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
@@ -295,7 +410,23 @@ main(int argc, char **argv)
                      st.answerSec > 0 ? base.answerSec / st.answerSec
                                       : 0.0);
     }
-    std::fprintf(json, "\n  ]\n}\n");
+    std::fprintf(json, "\n  ]");
+    if (fr.ran)
+        std::fprintf(
+            json,
+            ",\n  \"fault_recovery\": {\"recipe\": \"%s\", "
+            "\"shards\": 2, \"replicas\": 2, \"queries\": %d,\n"
+            "    \"answer_p50_ms\": %.3f, \"answer_p99_ms\": %.3f, "
+            "\"faults_injected\": %llu, \"retries\": %llu, "
+            "\"failovers\": %llu,\n"
+            "    \"burst\": %llu, \"shed\": %llu, \"answered\": %llu}",
+            fr.recipe, fr.queries, fr.p50Ms, fr.p99Ms,
+            (unsigned long long)fr.faultsInjected,
+            (unsigned long long)fr.retries,
+            (unsigned long long)fr.failovers,
+            (unsigned long long)fr.burst, (unsigned long long)fr.shed,
+            (unsigned long long)fr.answered);
+    std::fprintf(json, "\n}\n");
     std::fclose(json);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;

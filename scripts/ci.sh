@@ -6,12 +6,24 @@
 # suites the TSan stage exercises.
 #
 # Usage: scripts/ci.sh [--quick] [--skip-sanitize] [--tsan] [--static]
+#                      [--faults]
 #   --quick          run only `-L tier1 -LE slow` (fast edit loop;
-#                    also skips the static and checked-build stages)
+#                    also skips the static, faults, and checked-build
+#                    stages)
 #   --skip-sanitize  only run the tier-1 (plain Release) configuration
 #   --tsan           additionally run the thread-heavy suites under TSan
 #   --static         run ONLY the static-analysis stage (lint.py,
 #                    clang thread-safety build, clang-tidy) and exit
+#   --faults         run ONLY the fault-injection stage (see below) and
+#                    exit; the stage is part of the default full run
+#
+# The faults stage (scripts/ci.sh --faults, or any full run) arms
+# IVE_FAILPOINTS chaos recipes in the environment and re-runs tests
+# under them: the quick tier-1 subset under a delay-only recipe (delays
+# are semantically invisible — every suite must still pass bit-exact),
+# then test_fault under the standard delay+error recipe (its fixture
+# disarms per-test, so the run also proves env arming cannot leak into
+# a test body and break determinism).
 #
 # The static stage is part of the default full run. The clang-based
 # legs (thread-safety analysis, clang-tidy) self-skip with a log line
@@ -50,6 +62,7 @@ SKIP_SANITIZE=0
 RUN_TSAN=0
 QUICK=0
 STATIC_ONLY=0
+FAULTS_ONLY=0
 CTEST_SELECT=(-L tier1)
 for arg in "$@"; do
     case "$arg" in
@@ -57,9 +70,26 @@ for arg in "$@"; do
         --skip-sanitize) SKIP_SANITIZE=1 ;;
         --tsan) RUN_TSAN=1 ;;
         --static) STATIC_ONLY=1 ;;
+        --faults) FAULTS_ONLY=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
+
+# Standard chaos recipes (README "Robustness"). Delay-only is safe for
+# every suite: an injected sleep must never change bytes. The full
+# recipe adds shard errors, which test_fault is written to tolerate.
+FAULTS_DELAY_RECIPE="shard.answer.delay=every:7,arg=2"
+FAULTS_FULL_RECIPE="shard.answer.delay=every:5,arg=2;shard.answer.error=nth:3"
+
+run_faults_stage() {
+    echo "=== faults: quick tier-1 under delay-only IVE_FAILPOINTS ==="
+    IVE_FAILPOINTS="$FAULTS_DELAY_RECIPE" \
+        ctest --test-dir build --output-on-failure -j "$JOBS" \
+        -L tier1 -LE slow
+    echo "=== faults: test_fault under the delay+error recipe ==="
+    IVE_FAILPOINTS="$FAULTS_FULL_RECIPE" \
+        ctest --test-dir build --output-on-failure -R '^test_fault$'
+}
 
 run_static_stage() {
     echo "=== static: scripts/lint.py (self-test, then repo) ==="
@@ -100,6 +130,15 @@ if [ "$STATIC_ONLY" -eq 1 ]; then
     exit 0
 fi
 
+if [ "$FAULTS_ONLY" -eq 1 ]; then
+    echo "=== faults: Release build ==="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "$JOBS"
+    run_faults_stage
+    echo "=== faults stage passed ==="
+    exit 0
+fi
+
 if [ "$QUICK" -eq 0 ]; then
     run_static_stage
 fi
@@ -129,6 +168,10 @@ done
 
 echo "=== tier-1 ctest: default dispatch ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" "${CTEST_SELECT[@]}"
+
+if [ "$QUICK" -eq 0 ]; then
+    run_faults_stage
+fi
 
 echo "=== perf smoke: bench_e2e_query --quick (Release, NDEBUG) ==="
 (cd build/bench && ./bench_e2e_query --quick --out /dev/null)
@@ -221,7 +264,7 @@ if [ "$RUN_TSAN" -eq 1 ]; then
           -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j "$JOBS" --target \
           test_thread_pool test_parallel_server test_system \
-          test_session test_shard test_golden test_obs
+          test_session test_shard test_golden test_obs test_fault
     ctest --test-dir build-tsan --output-on-failure -L thread
 fi
 

@@ -27,6 +27,13 @@ Rules (each line reports as ``path:line: [rule] message``):
                       system_clock / high_resolution_clock ::now()
                       reads are flagged outside src/obs/ (the sanctioned
                       clock wrapper). Benches and tests are exempt.
+  catch-all           ``catch (...)`` in src/ erases the typed error
+                      taxonomy (common/error.hh) and can swallow logic
+                      errors that should abort loudly. Each site must
+                      justify itself with an allow() — legitimate uses
+                      are promise/exception_ptr boundaries that re-throw
+                      or re-deliver the exception intact. Benches and
+                      tests are exempt.
 
 Escape hatch: a finding is suppressed when the flagged line, or the
 line directly above it, carries
@@ -77,6 +84,7 @@ SERIALIZE_RE = re.compile(
     r"|(?<![A-Za-z0-9_])reinterpret_cast\s*<"
 )
 USING_STD_RE = re.compile(r"using\s+namespace\s+std\b")
+CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
 RAW_CHRONO_RE = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock)"
     r"\s*::\s*now\s*\("
@@ -93,6 +101,7 @@ ALL_RULES = (
     "include-guard",
     "using-namespace-std",
     "raw-chrono",
+    "catch-all",
 )
 
 
@@ -205,6 +214,12 @@ def lint_file(f: Findings, root: Path, path: Path) -> None:
                 f, rel, raw_lines, code_lines, idx, "raw-assert",
                 RAW_ASSERT_RE,
                 "raw assert(); use ive_assert / ive_contract")
+            check_line_rule(
+                f, rel, raw_lines, code_lines, idx, "catch-all",
+                CATCH_ALL_RE,
+                "bare catch (...) erases the typed error taxonomy; "
+                "catch ive::Error (or a subclass), or justify the "
+                "boundary with an allow()")
         if in_src and not rel.startswith("src/obs/"):
             check_line_rule(
                 f, rel, raw_lines, code_lines, idx, "raw-chrono",
@@ -320,6 +335,18 @@ def self_test() -> int:
         # An alias read (Clock::now()) is out of the rule's reach by
         # design; only spelled-out clock types are flagged.
         ("src/x.cc", "auto t = Clock::now();\n", None),
+        ("src/x.cc", "try { f(); } catch (...) { g(); }\n", "catch-all"),
+        ("src/x.cc",
+         "try { f(); } catch (const Error &e) { g(); }\n", None),
+        ("src/x.cc",
+         "// lint: allow(catch-all) -- promise boundary, re-delivered\n"
+         "} catch (...) {\n", None),
+        ("src/x.cc",
+         "} catch (...) { // lint: allow(catch-all)\n", "catch-all"),
+        ("src/x.cc", "// a catch (...) in prose\n", None),
+        # Benches and tests catch whatever they like.
+        ("tests/t.cc", "try { f(); } catch (...) {}\n", None),
+        ("bench/b.cc", "try { f(); } catch (...) {}\n", None),
     ]
 
     failures = 0

@@ -27,7 +27,7 @@
 #ifndef IVE_COMMON_CONTRACTS_HH
 #define IVE_COMMON_CONTRACTS_HH
 
-#include <stdexcept>
+#include "common/error.hh" // ContractViolation lives in the taxonomy.
 
 // Defined (=1) by the IVE_CHECK_RANGES CMake option.
 #if defined(IVE_CHECK_RANGES)
@@ -37,13 +37,6 @@
 #endif
 
 namespace ive {
-
-/** A documented kernel range contract was violated (checked builds). */
-class ContractViolation : public std::logic_error
-{
-  public:
-    using std::logic_error::logic_error;
-};
 
 /** Throws ContractViolation with the contract name and location. */
 [[noreturn]] void contractFailure(const char *contract, const char *expr,

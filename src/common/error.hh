@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Typed error taxonomy for the serving stack.
+ *
+ * Every recoverable serving failure derives from ive::Error so callers
+ * can discriminate failure classes with catch clauses (or
+ * dynamic_cast on a stored exception_ptr) instead of string-matching
+ * what():
+ *
+ *   SerializeError    malformed or incompatible wire data — the blob
+ *                     is at fault, retrying the same bytes cannot help.
+ *   ContractViolation a machine-checked kernel range contract failed
+ *                     (checked builds; common/contracts.hh) — the
+ *                     computation is corrupt, the result must not ship.
+ *   ShardUnavailable  every replica of a database slice failed past
+ *                     the retry budget — graceful degradation signal;
+ *                     the query was *not* answered, but nothing hung
+ *                     or aborted (shard/coordinator.hh).
+ *   Overloaded        admission control shed the query: the dispatch
+ *                     queue was at its high-water mark. Retrying later
+ *                     is reasonable; retrying immediately is not.
+ *   DeadlineExceeded  a per-query or per-shard-call deadline expired
+ *                     before the work completed.
+ *   ShutdownError     the component is stopping or stopped; no further
+ *                     work is accepted.
+ *
+ * Programmer-API misuse (answering before key ingest, bad topology
+ * arguments) intentionally stays on std::logic_error /
+ * std::invalid_argument: those are bugs in the calling code, not
+ * runtime conditions a serving layer should catch and route.
+ */
+
+#ifndef IVE_COMMON_ERROR_HH
+#define IVE_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace ive {
+
+/** Base of every recoverable, typed serving failure. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what)
+    {
+    }
+};
+
+/** Malformed or incompatible wire data (bad magic, truncation, ...). */
+class SerializeError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** A documented kernel range contract was violated (checked builds). */
+class ContractViolation : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** Every replica of a slice failed past the retry budget. */
+class ShardUnavailable : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** Admission control shed the query (queue at high-water mark). */
+class Overloaded : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** A per-query or per-shard-call deadline expired. */
+class DeadlineExceeded : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/** The component is stopping or stopped; no further work accepted. */
+class ShutdownError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+} // namespace ive
+
+#endif // IVE_COMMON_ERROR_HH

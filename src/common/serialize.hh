@@ -16,23 +16,13 @@
 #define IVE_COMMON_SERIALIZE_HH
 
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/error.hh" // SerializeError lives in the taxonomy.
 #include "common/types.hh"
 
 namespace ive {
-
-/** Malformed or incompatible wire data (bad magic, truncation, ...). */
-class SerializeError : public std::runtime_error
-{
-  public:
-    explicit SerializeError(const std::string &what)
-        : std::runtime_error(what)
-    {
-    }
-};
 
 /** Current wire-format version; bump on any layout change. */
 inline constexpr u8 kWireVersion = 2;

@@ -61,6 +61,7 @@ runTimedChunk(PoolMetrics &pm, const Fn &fn)
     u64 t0 = obs::nowNs();
     try {
         fn();
+        // lint: allow(catch-all) -- telemetry bracket only; rethrown
     } catch (...) {
         u64 dur = obs::nowNs() - t0;
         pm.taskNs.record(dur);
@@ -154,6 +155,7 @@ ThreadPool::workerLoop()
                 break;
             try {
                 runTimedChunk(pm, [&] { (*batch->fn)(i); });
+                // lint: allow(catch-all) -- rethrown by parallelFor
             } catch (...) {
                 error = std::current_exception();
                 break;
@@ -255,6 +257,7 @@ ThreadPool::runBatch(u64 count, const std::function<void(u64)> &fn)
             break;
         try {
             runTimedChunk(pm, [&] { fn(i); });
+            // lint: allow(catch-all) -- rethrown after the join barrier
         } catch (...) {
             error = std::current_exception();
             break;

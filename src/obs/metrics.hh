@@ -318,6 +318,27 @@ inline constexpr const char *kDispatchWindowWaitNs =
 inline constexpr const char *kDispatchBatchSize =
     "ive_dispatch_batch_size";
 
+// Robustness layer (common/failpoint.cc, shard/coordinator.cc,
+// shard/dispatcher.cc). Faults carry the injection-site name as a
+// label; deadline misses carry the layer that timed out.
+inline constexpr const char *kFaultsInjectedFamily =
+    "ive_faults_injected_total";
+inline std::string
+faultsInjected(const std::string &failpoint)
+{
+    return std::string(kFaultsInjectedFamily) + "{point=\"" +
+           failpoint + "\"}";
+}
+inline constexpr const char *kShardRetries = "ive_shard_retries_total";
+inline constexpr const char *kFailovers = "ive_failovers_total";
+inline constexpr const char *kQueriesShed = "ive_queries_shed_total";
+inline constexpr const char *kDeadlineMissShard =
+    "ive_deadline_misses_total{layer=\"shard\"}";
+inline constexpr const char *kDeadlineMissDispatch =
+    "ive_deadline_misses_total{layer=\"dispatch\"}";
+inline constexpr const char *kRetryLatencyNs =
+    "ive_shard_retry_latency_ns";
+
 } // namespace names
 
 } // namespace obs

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/bitops.hh"
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "modmath/primes.hh"
 
@@ -230,7 +231,18 @@ serializeResponse(const HeContext &ctx, const PirResponse &response)
     w.writeU64(response.planes.size());
     for (const BfvCiphertext &ct : response.planes)
         saveBfvCiphertext(w, ct);
-    return w.take();
+    std::vector<u8> blob = w.take();
+    // Failpoint: flip one byte (arg selects the offset from the end,
+    // default the last byte — residue data, so the client's canonical-
+    // residue validation or the decoded record catches it). Models a
+    // bit flip between serialization and the wire.
+    static fail::Failpoint &corrupt =
+        fail::point("serialize.response.corrupt");
+    if (fail::Hit h = corrupt.evaluate()) {
+        // blob is never empty here: the header was just written.
+        blob[blob.size() - 1 - (h.arg % blob.size())] ^= 0xFF;
+    }
+    return blob;
 }
 
 PirResponse

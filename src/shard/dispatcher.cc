@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 #include "obs/trace.hh"
 
@@ -11,7 +13,8 @@ namespace {
 
 /**
  * Dispatcher telemetry: queue pressure (depth gauge, window-wait
- * histogram) and batching efficiency (batch-size histogram). The
+ * histogram), batching efficiency (batch-size histogram), and
+ * admission control (shed and deadline-miss counters). The
  * DispatcherStats struct stays the exact per-instance view; these
  * aggregate across dispatchers for render().
  */
@@ -20,6 +23,8 @@ struct DispatchMetrics
     obs::Counter &submitted;
     obs::Counter &completed;
     obs::Counter &batches;
+    obs::Counter &shed;
+    obs::Counter &expired;
     obs::Gauge &queueDepth;
     obs::Histogram &windowWaitNs;
     obs::Histogram &batchSize;
@@ -35,12 +40,26 @@ dispatchMetrics()
         r.counter(n::kDispatchCompleted,
                   "query futures resolved (success or error)"),
         r.counter(n::kDispatchBatches, "batches dispatched"),
+        r.counter(n::kQueriesShed,
+                  "queries rejected at admission (Overloaded)"),
+        r.counter(n::kDeadlineMissDispatch,
+                  "queries whose deadline expired in the queue"),
         r.gauge(n::kDispatchQueueDepth, "queries waiting for a window"),
         r.histogram(n::kDispatchWindowWaitNs,
                     "submit-to-dispatch wait per query"),
         r.histogram(n::kDispatchBatchSize, "queries per batch"),
     };
     return m;
+}
+
+/** A future already carrying a typed error — submit() never throws
+ *  for serving-state reasons, it returns one of these. */
+std::future<std::vector<u8>>
+rejectedFuture(std::exception_ptr err)
+{
+    std::promise<std::vector<u8>> pr;
+    pr.set_exception(std::move(err));
+    return pr.get_future();
 }
 
 } // namespace
@@ -51,33 +70,66 @@ ShardDispatcher::ShardDispatcher(ShardCoordinator &coordinator,
 {
     ive_assert(cfg_.maxBatch >= 1);
     ive_assert(cfg_.windowSec >= 0.0);
+    ive_assert(cfg_.maxQueue >= 0);
+    ive_assert(cfg_.queryDeadlineSec >= 0.0);
     worker_ = std::thread([this] { runLoop(); });
 }
 
 ShardDispatcher::~ShardDispatcher()
 {
-    {
-        LockGuard lk(mu_);
-        stop_ = true;
-    }
-    wake_.notify_all();
-    worker_.join();
+    shutdown();
+}
+
+void
+ShardDispatcher::shutdown()
+{
+    std::call_once(shutdownOnce_, [this] {
+        {
+            LockGuard lk(mu_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        worker_.join();
+    });
 }
 
 std::future<std::vector<u8>>
 ShardDispatcher::submit(std::vector<u8> query_blob)
 {
+    static fail::Failpoint &reject = fail::point("dispatch.queue.reject");
+
     DispatchMetrics &dm = dispatchMetrics();
     Pending p;
     p.arrival = Clock::now();
     p.arrivalNs = obs::nowNs();
+    if (cfg_.queryDeadlineSec > 0.0)
+        p.deadlineNs = p.arrivalNs +
+                       static_cast<u64>(cfg_.queryDeadlineSec * 1e9);
     p.blob = std::move(query_blob);
     std::future<std::vector<u8>> fut = p.promise.get_future();
     {
         LockGuard lk(mu_);
-        if (stop_)
-            throw std::logic_error(
-                "ShardDispatcher: submit after shutdown");
+        // stop_ and queue_ change under the same mutex the worker
+        // holds while deciding to exit (it only returns once stop_ is
+        // set AND the queue is empty), so any submit that wins this
+        // lock before shutdown is flushed, and any that loses it is
+        // rejected here — a racing submit can never strand a promise.
+        if (stop_) {
+            ++stats_.rejectedShutdown;
+            return rejectedFuture(std::make_exception_ptr(
+                ShutdownError("ShardDispatcher: submit after shutdown")));
+        }
+        bool atHighWater =
+            cfg_.maxQueue > 0 &&
+            queue_.size() >= static_cast<size_t>(cfg_.maxQueue);
+        if (atHighWater || reject.evaluate()) {
+            ++stats_.shed;
+            dm.shed.add(1);
+            return rejectedFuture(std::make_exception_ptr(Overloaded(
+                strprintf("ShardDispatcher: queue at high-water mark "
+                          "(%zu waiting, maxQueue %d)",
+                          queue_.size(), cfg_.maxQueue))));
+        }
         queue_.push_back(std::move(p));
         ++stats_.submitted;
         dm.queueDepth.set(static_cast<i64>(queue_.size()));
@@ -134,26 +186,61 @@ ShardDispatcher::runLoop()
                        static_cast<size_t>(cfg_.maxBatch);
         });
 
+        // Queries whose own deadline the waiting window consumed are
+        // dropped here, at dispatch time, with DeadlineExceeded —
+        // serving them late helps nobody and steals batch slots from
+        // queries that can still meet theirs.
         size_t take = std::min(queue_.size(),
                                static_cast<size_t>(cfg_.maxBatch));
+        const u64 dispatch_ns = obs::nowNs();
         std::vector<Pending> batch;
+        std::vector<Pending> lapsed;
         batch.reserve(take);
         for (size_t i = 0; i < take; ++i) {
-            batch.push_back(std::move(queue_.front()));
+            Pending p = std::move(queue_.front());
             queue_.pop_front();
+            if (p.deadlineNs != 0 && dispatch_ns > p.deadlineNs)
+                lapsed.push_back(std::move(p));
+            else
+                batch.push_back(std::move(p));
         }
-        inFlight_ = true;
-        ++stats_.batches;
-        if (full && batch.size() == static_cast<size_t>(cfg_.maxBatch))
-            ++stats_.fullBatches;
-        stats_.maxBatch = std::max(stats_.maxBatch, u64{take});
+        stats_.expired += lapsed.size();
+        stats_.completed += lapsed.size();
+        inFlight_ = !batch.empty();
+        if (!batch.empty()) {
+            ++stats_.batches;
+            if (full &&
+                take == static_cast<size_t>(cfg_.maxBatch))
+                ++stats_.fullBatches;
+            stats_.maxBatch =
+                std::max(stats_.maxBatch, u64{batch.size()});
+        }
         DispatchMetrics &dm = dispatchMetrics();
         dm.queueDepth.set(static_cast<i64>(queue_.size()));
         lk.unlock();
 
+        if (!lapsed.empty()) {
+            dm.expired.add(lapsed.size());
+            dm.completed.add(lapsed.size());
+            for (Pending &p : lapsed)
+                p.promise.set_exception(
+                    std::make_exception_ptr(DeadlineExceeded(strprintf(
+                        "ShardDispatcher: deadline (%.3f s) expired "
+                        "after %.3f s in the waiting window",
+                        cfg_.queryDeadlineSec,
+                        static_cast<double>(dispatch_ns - p.arrivalNs) /
+                            1e9))));
+        }
+
+        if (batch.empty()) {
+            lk.lock();
+            if (queue_.empty() && !inFlight_)
+                idle_.notify_all();
+            continue;
+        }
+
         dm.batches.add(1);
-        dm.batchSize.record(take);
-        const u64 dispatch_ns = obs::nowNs();
+        dm.batchSize.record(batch.size());
         for (const Pending &p : batch)
             dm.windowWaitNs.record(dispatch_ns >= p.arrivalNs
                                        ? dispatch_ns - p.arrivalNs
@@ -168,6 +255,7 @@ ShardDispatcher::runLoop()
                 coordinator_.answerBatch(blobs);
             for (size_t i = 0; i < batch.size(); ++i)
                 batch[i].promise.set_value(std::move(responses[i]));
+            // lint: allow(catch-all) -- delivered intact via futures
         } catch (...) {
             // One bad blob fails the whole batch up front (answerBatch
             // validates before any work); every waiter learns why.

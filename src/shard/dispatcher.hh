@@ -11,9 +11,25 @@
  * max(window_close, server_free). The same SchedulerConfig drives
  * both, so simulated load curves and live behavior stay comparable.
  *
- * submit() is thread-safe and returns a std::future that resolves to
- * the query's Response blob (or rethrows the coordinator's error, e.g.
- * SerializeError for a malformed query blob).
+ * Admission control (SchedulerConfig knobs, README "Robustness"):
+ *
+ *   maxQueue         bounded queue with a high-water mark — a submit
+ *                    arriving at the mark is shed immediately with a
+ *                    typed ive::Overloaded instead of growing the
+ *                    queue without bound (load spikes degrade to
+ *                    rejections, not OOM).
+ *   queryDeadlineSec per-query deadline inherited through the waiting
+ *                    window: a query whose deadline passes while it
+ *                    waits is dropped with ive::DeadlineExceeded at
+ *                    dispatch time rather than served uselessly late.
+ *
+ * submit() is thread-safe and NEVER throws for serving-state reasons:
+ * overload, deadline expiry and shutdown all surface as a typed
+ * ive::Error on the returned future (Overloaded, DeadlineExceeded,
+ * ShutdownError), so every submit observes exactly one outcome and a
+ * submit racing shutdown can neither hang nor see a broken promise.
+ * Pipeline errors (e.g. SerializeError for a malformed blob,
+ * ShardUnavailable from a dead slice) arrive the same way.
  */
 
 #ifndef IVE_SHARD_DISPATCHER_HH
@@ -22,6 +38,7 @@
 #include <chrono>
 #include <deque>
 #include <future>
+#include <mutex>
 #include <thread>
 
 #include "common/annotations.hh"
@@ -33,11 +50,14 @@ namespace ive {
 /** Cumulative dispatcher tallies (under one lock with the queue). */
 struct DispatcherStats
 {
-    u64 submitted = 0;
+    u64 submitted = 0;  ///< Accepted into the queue.
     u64 completed = 0;  ///< Futures resolved, success or error.
     u64 batches = 0;
     u64 fullBatches = 0; ///< Dispatched because maxBatch was reached.
     u64 maxBatch = 0;    ///< Largest batch dispatched so far.
+    u64 shed = 0;        ///< Rejected with Overloaded at submit.
+    u64 expired = 0;     ///< Dropped with DeadlineExceeded at dispatch.
+    u64 rejectedShutdown = 0; ///< Rejected with ShutdownError.
 };
 
 class ShardDispatcher
@@ -53,10 +73,25 @@ class ShardDispatcher
     /** Flushes the queue, then joins the dispatch thread. */
     ~ShardDispatcher();
 
+    /**
+     * Stops accepting work, flushes already-queued queries, and joins
+     * the dispatch thread. Idempotent and safe to race with submit():
+     * a submit that loses the race is rejected with ShutdownError, one
+     * that wins is flushed — either way its future resolves. The
+     * destructor calls this if it has not been called already.
+     */
+    void shutdown() IVE_EXCLUDES(mu_);
+
     ShardDispatcher(const ShardDispatcher &) = delete;
     ShardDispatcher &operator=(const ShardDispatcher &) = delete;
 
-    /** Enqueues one query blob; the future yields its Response blob. */
+    /**
+     * Enqueues one query blob; the future yields its Response blob or
+     * a typed ive::Error (Overloaded when the queue is at its
+     * high-water mark, DeadlineExceeded when the waiting window
+     * consumed the query's deadline, ShutdownError when the dispatcher
+     * is stopping, or the coordinator's own failure).
+     */
     std::future<std::vector<u8>> submit(std::vector<u8> query_blob)
         IVE_EXCLUDES(mu_);
 
@@ -71,7 +106,8 @@ class ShardDispatcher
     struct Pending
     {
         Clock::time_point arrival;
-        u64 arrivalNs = 0; ///< obs::nowNs() at submit, for telemetry.
+        u64 arrivalNs = 0;  ///< obs::nowNs() at submit, for telemetry.
+        u64 deadlineNs = 0; ///< arrivalNs + queryDeadlineSec; 0 = none.
         std::vector<u8> blob;
         std::promise<std::vector<u8>> promise;
     };
@@ -88,6 +124,7 @@ class ShardDispatcher
     DispatcherStats stats_ IVE_GUARDED_BY(mu_);
     bool inFlight_ IVE_GUARDED_BY(mu_) = false;
     bool stop_ IVE_GUARDED_BY(mu_) = false;
+    std::once_flag shutdownOnce_; ///< One joiner, even when racing.
     std::thread worker_;
 };
 
