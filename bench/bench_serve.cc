@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Load generator for the TCP serving front-end (src/net/).
+ *
+ * Starts a PirTcpServer on loopback over a deterministically filled
+ * database, registers one client's keys through the wire (id 7), and
+ * sweeps concurrent connections {1, 8, 64}, each connection issuing
+ * closed-loop queries for a fixed duration. Reports QPS and p50/p99
+ * round-trip latency per point, plus the robustness counters (shed
+ * queries, evicted sessions, error frames, client reconnects).
+ *
+ * --check verifies every response byte-identical against the
+ * in-process ServerSession::answer() path and fails the run on any
+ * mismatch — with IVE_FAILPOINTS recipes that leave connections alive
+ * (net.write.short, net.read.stall) this is the CI proof that network
+ * faults degrade latency, never bytes. Connection-killing recipes
+ * (net.conn.reset) are survived by reconnecting; those round trips
+ * count as reconnects, not failures.
+ *
+ * Results land in BENCH_serve.json (--out overrides). The "cores"
+ * field records the host CPU count, and "dispatch_threads" records
+ * the serving truth: all query evaluation runs on the dispatcher's
+ * single dispatch thread, so QPS measures one core's engine plus the
+ * event loop — connection scaling stresses robustness (admission,
+ * backpressure, ordering), not parallel crypto.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hh"
+#include "net/server.hh"
+#include "pir/session.hh"
+
+using namespace ive;
+
+namespace {
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+std::vector<u64>
+dbContent(const PirParams &p, u64 entry, int plane)
+{
+    std::vector<u64> coeffs(p.he.n);
+    for (u64 j = 0; j < p.he.n; ++j)
+        coeffs[j] = (entry * 131 + static_cast<u64>(plane) * 7 + j) &
+                    (p.he.plainModulus - 1);
+    return coeffs;
+}
+
+struct Point
+{
+    int connections = 0;
+    u64 queries = 0;
+    u64 errors = 0;     ///< Typed error responses (shed/expired/...).
+    u64 reconnects = 0; ///< Connection losses survived by reconnect.
+    u64 mismatches = 0; ///< --check byte-identity failures.
+    double qps = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    u64 shed = 0;    ///< Dispatcher admission rejections (cumulative).
+    u64 evicted = 0; ///< Registry LRU evictions (cumulative).
+};
+
+double
+percentile(std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t idx = static_cast<size_t>(q * (sorted.size() - 1));
+    return sorted[idx];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false, check = false;
+    std::string out = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--check") == 0) {
+            check = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            out = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--check] [--out PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    PirParams params = PirParams::testSmall();
+    if (quick) {
+        params.he.n = 256;
+        params.d0 = 8;
+        params.d = 1;
+    }
+    const double duration = quick ? 0.4 : 1.5;
+    std::vector<int> sweep = quick ? std::vector<int>{1, 8}
+                                   : std::vector<int>{1, 8, 64};
+
+    HeContext ctx(params.he);
+    Database db(ctx, params);
+    db.fill([&](u64 entry, int plane) {
+        return dbContent(params, entry, plane);
+    });
+
+    net::NetServerConfig cfg;
+    cfg.scheduler.windowSec = 0.0; // Closed-loop: latency-first.
+    cfg.maxConnections = 256;
+    net::PirTcpServer server(ctx, params, &db, cfg);
+
+    // One registered client; every connection queries by reference.
+    ClientSession client(params, 7);
+    ServerSession reference(client.paramsBlob());
+    reference.database().fill([&](u64 entry, int plane) {
+        return dbContent(params, entry, plane);
+    });
+    reference.ingestKeys(client.keyBlob());
+
+    u64 generation = 0;
+    {
+        net::PirTcpClient reg("127.0.0.1", server.port());
+        generation =
+            reg.registerKeys(7, client.paramsBlob(), client.keyBlob());
+    }
+
+    // Precompute a query pool and (for --check) expected responses,
+    // so the measured loop is pure round trips.
+    const u64 pool = std::min<u64>(params.numEntries(), 32);
+    std::vector<std::vector<u8>> queries, expected;
+    for (u64 i = 0; i < pool; ++i) {
+        queries.push_back(client.queryBlob(i));
+        expected.push_back(reference.answer(queries.back()));
+    }
+
+    std::printf("TCP serving load sweep (n=%llu, D=%llu, pool=%llu, "
+                "%.1fs/point, check=%s, host cores=%u, dispatch "
+                "threads=1)\n",
+                (unsigned long long)params.he.n,
+                (unsigned long long)params.numEntries(),
+                (unsigned long long)pool, duration,
+                check ? "on" : "off",
+                std::thread::hardware_concurrency());
+    std::printf("%5s | %9s %9s %9s | %7s %10s %6s %7s\n", "conns",
+                "qps", "p50 ms", "p99 ms", "errors", "reconnects",
+                "shed", "evicted");
+
+    std::vector<Point> points;
+    bool checkFailed = false;
+    for (int conns : sweep) {
+        Point pt;
+        pt.connections = conns;
+        std::mutex mu;
+        std::vector<double> latencies;
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<size_t>(conns));
+        const double deadline = now() + duration;
+
+        for (int t = 0; t < conns; ++t) {
+            workers.emplace_back([&, t] {
+                std::vector<double> local;
+                u64 ok = 0, errors = 0, reconnects = 0, bad = 0;
+                std::unique_ptr<net::PirTcpClient> c;
+                u64 i = static_cast<u64>(t);
+                while (now() < deadline) {
+                    try {
+                        if (!c)
+                            c = std::make_unique<net::PirTcpClient>(
+                                "127.0.0.1", server.port());
+                        const u64 q = i++ % pool;
+                        double t0 = now();
+                        std::vector<u8> resp =
+                            c->query(7, generation, queries[q]);
+                        local.push_back((now() - t0) * 1e3);
+                        ++ok;
+                        if (check && resp != expected[q])
+                            ++bad;
+                    } catch (const Overloaded &) {
+                        ++errors; // Shed by admission; keep going.
+                    } catch (const DeadlineExceeded &) {
+                        ++errors;
+                    } catch (const Error &) {
+                        // Connection lost (e.g. net.conn.reset):
+                        // reconnect and continue — fault tolerance
+                        // is part of what this bench measures.
+                        c.reset();
+                        ++reconnects;
+                    }
+                }
+                std::lock_guard<std::mutex> lk(mu);
+                latencies.insert(latencies.end(), local.begin(),
+                                 local.end());
+                pt.queries += ok;
+                pt.errors += errors;
+                pt.reconnects += reconnects;
+                pt.mismatches += bad;
+            });
+        }
+        const double t0 = now();
+        for (auto &w : workers)
+            w.join();
+        const double elapsed = now() - t0;
+
+        std::sort(latencies.begin(), latencies.end());
+        pt.qps = pt.queries / std::max(elapsed, 1e-9);
+        pt.p50Ms = percentile(latencies, 0.50);
+        pt.p99Ms = percentile(latencies, 0.99);
+        DispatcherStats ds = server.dispatcherStats();
+        pt.shed = ds.shed + ds.expired + ds.rejectedShutdown;
+        pt.evicted = server.registry().stats().evicted;
+        if (pt.mismatches > 0)
+            checkFailed = true;
+        points.push_back(pt);
+
+        std::printf("%5d | %9.1f %9.3f %9.3f | %7llu %10llu %6llu "
+                    "%7llu%s\n",
+                    conns, pt.qps, pt.p50Ms, pt.p99Ms,
+                    (unsigned long long)pt.errors,
+                    (unsigned long long)pt.reconnects,
+                    (unsigned long long)pt.shed,
+                    (unsigned long long)pt.evicted,
+                    pt.mismatches ? "  MISMATCH" : "");
+    }
+
+    server.drain();
+
+    FILE *json = std::fopen(out.c_str(), "w");
+    if (json) {
+        std::fprintf(
+            json,
+            "{\n  \"quick\": %s,\n  \"check\": %s,\n"
+            "  \"cores\": %u,\n  \"dispatch_threads\": 1,\n"
+            "  \"params\": {\"n\": %llu, \"d0\": %llu, \"d\": %d, "
+            "\"entries\": %llu},\n  \"points\": [\n",
+            quick ? "true" : "false", check ? "true" : "false",
+            std::thread::hardware_concurrency(),
+            (unsigned long long)params.he.n,
+            (unsigned long long)params.d0, params.d,
+            (unsigned long long)params.numEntries());
+        for (size_t i = 0; i < points.size(); ++i) {
+            const Point &p = points[i];
+            std::fprintf(
+                json,
+                "    {\"connections\": %d, \"queries\": %llu, "
+                "\"qps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                "\"errors\": %llu, \"reconnects\": %llu, "
+                "\"mismatches\": %llu, \"shed\": %llu, "
+                "\"evicted\": %llu}%s\n",
+                p.connections, (unsigned long long)p.queries, p.qps,
+                p.p50Ms, p.p99Ms, (unsigned long long)p.errors,
+                (unsigned long long)p.reconnects,
+                (unsigned long long)p.mismatches,
+                (unsigned long long)p.shed,
+                (unsigned long long)p.evicted,
+                i + 1 < points.size() ? "," : "");
+        }
+        std::fprintf(json, "  ]\n}\n");
+        std::fclose(json);
+        std::printf("wrote %s\n", out.c_str());
+    }
+
+    if (check && checkFailed) {
+        std::fprintf(stderr,
+                     "FAIL: socket responses diverged from the "
+                     "in-process ServerSession::answer() bytes\n");
+        return 1;
+    }
+    u64 total = 0;
+    for (const Point &p : points)
+        total += p.queries;
+    if (total == 0) {
+        std::fprintf(stderr, "FAIL: no queries completed\n");
+        return 1;
+    }
+    return 0;
+}

@@ -6,7 +6,7 @@
 # suites the TSan stage exercises.
 #
 # Usage: scripts/ci.sh [--quick] [--skip-sanitize] [--tsan] [--static]
-#                      [--faults]
+#                      [--faults] [--serve]
 #   --quick          run only `-L tier1 -LE slow` (fast edit loop;
 #                    also skips the static, faults, and checked-build
 #                    stages)
@@ -16,6 +16,16 @@
 #                    clang thread-safety build, clang-tidy) and exit
 #   --faults         run ONLY the fault-injection stage (see below) and
 #                    exit; the stage is part of the default full run
+#   --serve          run ONLY the network-serving stage (see below) and
+#                    exit; the stage is part of the default full run
+#
+# The serve stage (scripts/ci.sh --serve, or any full run) starts the
+# epoll TCP server on loopback and drives it with the bench_serve load
+# generator in --check mode, which compares every socket response
+# byte-for-byte against the in-process ServerSession::answer() path.
+# It runs once clean and once under the standard net.* failpoint
+# recipe (short writes + read stalls — the connection-preserving
+# faults): the recipe must change latency, never bytes.
 #
 # The faults stage (scripts/ci.sh --faults, or any full run) arms
 # IVE_FAILPOINTS chaos recipes in the environment and re-runs tests
@@ -63,6 +73,7 @@ RUN_TSAN=0
 QUICK=0
 STATIC_ONLY=0
 FAULTS_ONLY=0
+SERVE_ONLY=0
 CTEST_SELECT=(-L tier1)
 for arg in "$@"; do
     case "$arg" in
@@ -71,6 +82,7 @@ for arg in "$@"; do
         --tsan) RUN_TSAN=1 ;;
         --static) STATIC_ONLY=1 ;;
         --faults) FAULTS_ONLY=1 ;;
+        --serve) SERVE_ONLY=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -80,6 +92,10 @@ done
 # recipe adds shard errors, which test_fault is written to tolerate.
 FAULTS_DELAY_RECIPE="shard.answer.delay=every:7,arg=2"
 FAULTS_FULL_RECIPE="shard.answer.delay=every:5,arg=2;shard.answer.error=nth:3"
+# Connection-preserving network faults (README "Network serving"):
+# truncated send()s and stalled reads reorder nothing and corrupt
+# nothing, so bench_serve --check must stay byte-identical under them.
+NET_FAULTS_RECIPE="net.write.short=every:3,arg=64;net.read.stall=every:7,arg=2"
 
 run_faults_stage() {
     echo "=== faults: quick tier-1 under delay-only IVE_FAILPOINTS ==="
@@ -89,6 +105,14 @@ run_faults_stage() {
     echo "=== faults: test_fault under the delay+error recipe ==="
     IVE_FAILPOINTS="$FAULTS_FULL_RECIPE" \
         ctest --test-dir build --output-on-failure -R '^test_fault$'
+}
+
+run_serve_stage() {
+    echo "=== serve: loopback load generator, clean ==="
+    (cd build/bench && ./bench_serve --quick --check --out serve_clean.json)
+    echo "=== serve: load generator under the net.* failpoint recipe ==="
+    (cd build/bench && IVE_FAILPOINTS="$NET_FAULTS_RECIPE" \
+        ./bench_serve --quick --check --out serve_faults.json)
 }
 
 run_static_stage() {
@@ -127,6 +151,15 @@ run_static_stage() {
 if [ "$STATIC_ONLY" -eq 1 ]; then
     run_static_stage
     echo "=== static stage passed ==="
+    exit 0
+fi
+
+if [ "$SERVE_ONLY" -eq 1 ]; then
+    echo "=== serve: Release build ==="
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build -j "$JOBS"
+    run_serve_stage
+    echo "=== serve stage passed ==="
     exit 0
 fi
 
@@ -171,6 +204,7 @@ ctest --test-dir build --output-on-failure -j "$JOBS" "${CTEST_SELECT[@]}"
 
 if [ "$QUICK" -eq 0 ]; then
     run_faults_stage
+    run_serve_stage
 fi
 
 echo "=== perf smoke: bench_e2e_query --quick (Release, NDEBUG) ==="
@@ -264,7 +298,8 @@ if [ "$RUN_TSAN" -eq 1 ]; then
           -DIVE_BUILD_BENCHES=OFF -DIVE_BUILD_EXAMPLES=OFF
     cmake --build build-tsan -j "$JOBS" --target \
           test_thread_pool test_parallel_server test_system \
-          test_session test_shard test_golden test_obs test_fault
+          test_session test_shard test_golden test_obs test_fault \
+          test_net
     ctest --test-dir build-tsan --output-on-failure -L thread
 fi
 

@@ -34,6 +34,13 @@ Rules (each line reports as ``path:line: [rule] message``):
                       are promise/exception_ptr boundaries that re-throw
                       or re-deliver the exception intact. Benches and
                       tests are exempt.
+  raw-socket          Socket I/O (send/recv family, ::read/::write on
+                      fds) is confined to src/net/, where FrameCodec
+                      framing, idle deadlines, backpressure and the
+                      net.* failpoints apply. A raw send() elsewhere in
+                      src/ would bypass all four. Benches and tests are
+                      exempt (they drive PirTcpClient, which lives in
+                      src/net/).
 
 Escape hatch: a finding is suppressed when the flagged line, or the
 line directly above it, carries
@@ -89,6 +96,11 @@ RAW_CHRONO_RE = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock)"
     r"\s*::\s*now\s*\("
 )
+RAW_SOCKET_RE = re.compile(
+    r"(?<![A-Za-z0-9_.>])(?:::\s*)?"
+    r"(?:send|recv|sendto|recvfrom|sendmsg|recvmsg)\s*\("
+    r"|(?<![A-Za-z0-9_:])::\s*(?:read|write)\s*\("
+)
 GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(IVE_\w+_HH)\s*$", re.M)
 GUARD_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(IVE_\w+_HH)\s*$", re.M)
 
@@ -102,6 +114,7 @@ ALL_RULES = (
     "using-namespace-std",
     "raw-chrono",
     "catch-all",
+    "raw-socket",
 )
 
 
@@ -226,6 +239,14 @@ def lint_file(f: Findings, root: Path, path: Path) -> None:
                 RAW_CHRONO_RE,
                 "raw clock read; time through obs::nowNs() / "
                 "obs::StageSpan so the sample lands in telemetry")
+        if in_src and not rel.startswith("src/net/"):
+            check_line_rule(
+                f, rel, raw_lines, code_lines, idx, "raw-socket",
+                RAW_SOCKET_RE,
+                "raw socket I/O outside src/net/; route bytes "
+                "through PirTcpServer/PirTcpClient so framing, "
+                "deadlines, backpressure and the net.* failpoints "
+                "apply")
         if rel in HOT_PATH_FILES:
             check_line_rule(
                 f, rel, raw_lines, code_lines, idx, "hot-path-alloc",
@@ -347,6 +368,20 @@ def self_test() -> int:
         # Benches and tests catch whatever they like.
         ("tests/t.cc", "try { f(); } catch (...) {}\n", None),
         ("bench/b.cc", "try { f(); } catch (...) {}\n", None),
+        # Socket I/O is confined to src/net/.
+        ("src/x.cc", "ssize_t n = ::send(fd, p, len, 0);\n",
+         "raw-socket"),
+        ("src/x.cc", "ssize_t n = recv(fd, p, len, 0);\n",
+         "raw-socket"),
+        ("src/x.cc", "n = ::read(fd, buf, len);\n", "raw-socket"),
+        ("src/x.cc", "n = ::write(fd, buf, len);\n", "raw-socket"),
+        ("src/net/server.cc", "ssize_t n = ::recv(fd, p, len, 0);\n",
+         None),
+        # Method calls and namespaced helpers are not socket I/O.
+        ("src/x.cc", "queue.send(msg);\n", None),
+        ("src/x.cc", "reader.read(buf);\n", None),
+        ("src/x.cc", "io::write(sink, bytes);\n", None),
+        ("tests/t.cc", "::send(fd, p, len, 0);\n", None),
     ]
 
     failures = 0

@@ -56,6 +56,13 @@
  *   dispatch.queue.reject   force ShardDispatcher::submit to shed as
  *                           if the queue hit its high-water mark
  *   serialize.response.corrupt  flip one byte of a serialized Response
+ *   net.read.stall          event loop skips a connection's reads for
+ *                           arg ms (slowloris/deadline drills)
+ *   net.write.short         cap one socket send() to arg bytes
+ *                           (exercises the partial-write path)
+ *   net.conn.reset          close the connection when a frame arrives
+ *   net.frame.corrupt       flip one byte of an outgoing response
+ *                           payload (arg = offset from end)
  */
 
 #ifndef IVE_COMMON_FAILPOINT_HH

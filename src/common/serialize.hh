@@ -25,7 +25,7 @@
 namespace ive {
 
 /** Current wire-format version; bump on any layout change. */
-inline constexpr u8 kWireVersion = 2;
+inline constexpr u8 kWireVersion = 3;
 
 /** Magic prefix of every top-level blob. */
 inline constexpr u8 kWireMagic[4] = {'I', 'V', 'E', 'W'};
@@ -38,6 +38,11 @@ enum class WireKind : u8
     Query = 3,
     Response = 4,
     PartialResponse = 5,
+    // Network session-protocol frames (src/net/): see pir/wire.hh.
+    Hello = 6,
+    RegisterKeys = 7,
+    QueryRef = 8,
+    ErrorResponse = 9,
 };
 
 /** Appends little-endian fields to a growable byte buffer. */
@@ -126,6 +131,12 @@ class ByteReader
      * Equivalent to a readU64 loop, minus the per-word length checks.
      */
     void readU64Span(std::span<u64> out);
+
+    /**
+     * Bulk copy of out.size() raw bytes, bounds-checked as a whole
+     * before any byte is copied. Equivalent to a readU8 loop.
+     */
+    void readBytes(std::span<u8> out);
 
     /**
      * Validates magic, version, and kind; throws SerializeError with a

@@ -1,0 +1,102 @@
+#include "net/frame.hh"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace ive::net {
+
+void
+appendFrame(std::vector<u8> &out, std::span<const u8> payload)
+{
+    if (payload.empty())
+        throw std::invalid_argument("appendFrame: empty payload");
+    if (payload.size() > std::numeric_limits<u32>::max())
+        throw std::invalid_argument("appendFrame: payload exceeds u32");
+    u32 len = static_cast<u32>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<u8>(len >> (8 * i)));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<u8>
+encodeFrame(std::span<const u8> payload)
+{
+    std::vector<u8> out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    appendFrame(out, payload);
+    return out;
+}
+
+FrameCodec::FrameCodec(u64 max_frame_bytes) : max_(max_frame_bytes)
+{
+    if (max_ == 0)
+        throw std::invalid_argument("FrameCodec: max frame size 0");
+}
+
+void
+FrameCodec::feed(std::span<const u8> bytes)
+{
+    if (poisoned_)
+        throw FrameError("FrameCodec: poisoned after framing error");
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+bool
+FrameCodec::hasCompleteFrame() const
+{
+    if (poisoned_)
+        return true; // next() will throw immediately.
+    if (buffered() < kFrameHeaderBytes)
+        return false;
+    u32 len = 0;
+    for (size_t i = 0; i < kFrameHeaderBytes; ++i)
+        len |= static_cast<u32>(buf_[pos_ + i]) << (8 * i);
+    if (len == 0 || len > max_)
+        return true; // next() will throw immediately.
+    return buffered() >= kFrameHeaderBytes + len;
+}
+
+std::optional<std::vector<u8>>
+FrameCodec::next()
+{
+    if (poisoned_)
+        throw FrameError("FrameCodec: poisoned after framing error");
+    if (buffered() < kFrameHeaderBytes)
+        return std::nullopt;
+    u32 len = 0;
+    for (size_t i = 0; i < kFrameHeaderBytes; ++i)
+        len |= static_cast<u32>(buf_[pos_ + i]) << (8 * i);
+    // Validate the declared length BEFORE buffering or allocating the
+    // payload: a hostile header must not become a 4 GiB reserve.
+    if (len == 0) {
+        poisoned_ = true;
+        throw FrameError("frame: zero-length frame");
+    }
+    if (len > max_) {
+        poisoned_ = true;
+        throw FrameError(strprintf(
+            "frame: declared length %u exceeds the %llu-byte cap", len,
+            static_cast<unsigned long long>(max_)));
+    }
+    if (buffered() < kFrameHeaderBytes + len)
+        return std::nullopt;
+    auto begin = buf_.begin() +
+                 static_cast<std::ptrdiff_t>(pos_ + kFrameHeaderBytes);
+    std::vector<u8> payload(begin, begin + len);
+    pos_ += kFrameHeaderBytes + len;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection's buffer stays proportional to its unread bytes.
+    if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else if (pos_ >= 4096 && pos_ >= buf_.size() / 2) {
+        buf_.erase(buf_.begin(), buf_.begin() +
+                                     static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    return payload;
+}
+
+} // namespace ive::net

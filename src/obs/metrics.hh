@@ -339,6 +339,31 @@ inline constexpr const char *kDeadlineMissDispatch =
 inline constexpr const char *kRetryLatencyNs =
     "ive_shard_retry_latency_ns";
 
+// Network front-end (src/net/): session registry occupancy and
+// connection/frame traffic. Directions and close reasons follow the
+// labels-in-name convention above.
+inline constexpr const char *kSessionsActive = "ive_sessions_active";
+inline constexpr const char *kSessionsEvicted =
+    "ive_sessions_evicted_total";
+inline constexpr const char *kSessionsRegistered =
+    "ive_sessions_registered_total";
+inline constexpr const char *kSessionsBytes = "ive_sessions_bytes";
+inline constexpr const char *kNetConnections = "ive_net_connections";
+inline constexpr const char *kNetAccepted = "ive_net_accepted_total";
+inline constexpr const char *kNetRejected = "ive_net_rejected_total";
+inline constexpr const char *kNetFramesIn =
+    "ive_net_frames_total{dir=\"in\"}";
+inline constexpr const char *kNetFramesOut =
+    "ive_net_frames_total{dir=\"out\"}";
+inline constexpr const char *kNetBytesIn =
+    "ive_net_bytes_total{dir=\"in\"}";
+inline constexpr const char *kNetBytesOut =
+    "ive_net_bytes_total{dir=\"out\"}";
+inline constexpr const char *kNetErrorFrames =
+    "ive_net_error_frames_total";
+inline constexpr const char *kNetDeadlineCloses =
+    "ive_net_deadline_closes_total";
+
 } // namespace names
 
 } // namespace obs

@@ -1,5 +1,6 @@
 #include "pir/wire.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bitops.hh"
@@ -28,6 +29,13 @@ constexpr u64 kMaxShards = u64{1} << 16;
  * multi-TB stores are the cluster/sharding layer's business.
  */
 constexpr u128 kMaxDbWireBytes = u128{1} << 36;
+/**
+ * Cap on a nested blob (params/keys/query) inside a session-protocol
+ * frame. Real key blobs are tens of MiB at paper parameters; 1 GiB
+ * bounds what a hostile length field can ask the decoder to allocate
+ * (readCount additionally proves the bytes are actually present).
+ */
+constexpr u64 kMaxNestedBlobBytes = u64{1} << 30;
 
 void
 checkRange(ByteReader &r, bool ok, const char *what, u64 value)
@@ -303,6 +311,158 @@ deserializePartialResponse(const HeContext &ctx,
         partial.planes.push_back(loadBfvCiphertext(r, ctx.ring()));
     r.expectEnd();
     return partial;
+}
+
+namespace {
+
+/** Writes a length-prefixed nested blob into a session frame. */
+void
+writeNestedBlob(ByteWriter &w, std::span<const u8> blob)
+{
+    w.writeU64(blob.size());
+    w.writeBytes(blob);
+}
+
+/**
+ * Reads a length-prefixed nested blob. The declared length is checked
+ * against the remaining frame bytes before any allocation, and a
+ * nested blob must at least hold a wire header — an empty or
+ * sub-header "blob" can only be garbage, so it is rejected here
+ * instead of deep in a crypto deserializer.
+ */
+std::vector<u8>
+readNestedBlob(ByteReader &r, const char *what)
+{
+    u64 len = r.readCount(kMaxNestedBlobBytes, 1, what);
+    if (len < 6)
+        r.fail(strprintf("%s of %llu bytes is too short to be a "
+                         "framed blob",
+                         what, static_cast<unsigned long long>(len)));
+    std::vector<u8> blob(len);
+    r.readBytes(blob);
+    return blob;
+}
+
+} // namespace
+
+std::vector<u8>
+serializeHello(const PirHello &hello)
+{
+    ByteWriter w;
+    w.writeHeader(WireKind::Hello);
+    w.writeU64(hello.clientId);
+    w.writeU64(hello.generation);
+    return w.take();
+}
+
+PirHello
+deserializeHello(std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    r.readHeader(WireKind::Hello);
+    PirHello hello;
+    hello.clientId = r.readU64();
+    hello.generation = r.readU64();
+    r.expectEnd();
+    return hello;
+}
+
+std::vector<u8>
+serializeRegisterKeys(const PirRegisterKeys &reg)
+{
+    ByteWriter w;
+    w.writeHeader(WireKind::RegisterKeys);
+    w.writeU64(reg.clientId);
+    writeNestedBlob(w, reg.paramsBlob);
+    writeNestedBlob(w, reg.keyBlob);
+    return w.take();
+}
+
+PirRegisterKeys
+deserializeRegisterKeys(std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    r.readHeader(WireKind::RegisterKeys);
+    PirRegisterKeys reg;
+    reg.clientId = r.readU64();
+    reg.paramsBlob = readNestedBlob(r, "params blob byte");
+    reg.keyBlob = readNestedBlob(r, "key blob byte");
+    r.expectEnd();
+    return reg;
+}
+
+std::vector<u8>
+serializeQueryRef(const PirQueryRef &ref)
+{
+    ByteWriter w;
+    w.writeHeader(WireKind::QueryRef);
+    w.writeU64(ref.clientId);
+    w.writeU64(ref.generation);
+    writeNestedBlob(w, ref.queryBlob);
+    return w.take();
+}
+
+PirQueryRef
+deserializeQueryRef(std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    r.readHeader(WireKind::QueryRef);
+    PirQueryRef ref;
+    ref.clientId = r.readU64();
+    ref.generation = r.readU64();
+    ref.queryBlob = readNestedBlob(r, "query blob byte");
+    r.expectEnd();
+    return ref;
+}
+
+std::vector<u8>
+serializeErrorResponse(const PirErrorResponse &err)
+{
+    ByteWriter w;
+    w.writeHeader(WireKind::ErrorResponse);
+    w.writeU32(static_cast<u32>(err.code));
+    u64 len = std::min<u64>(err.message.size(), kMaxErrorMessageBytes);
+    w.writeU64(len);
+    w.writeBytes(std::span<const u8>(
+        // lint: allow(unchecked-serialize) -- capped char-to-byte view
+        reinterpret_cast<const u8 *>(err.message.data()), len));
+    return w.take();
+}
+
+PirErrorResponse
+deserializeErrorResponse(std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    r.readHeader(WireKind::ErrorResponse);
+    PirErrorResponse err;
+    u32 code = r.readU32();
+    checkRange(r,
+               code >= static_cast<u32>(NetErrorCode::BadFrame) &&
+                   code <= static_cast<u32>(NetErrorCode::Internal),
+               "error code", code);
+    err.code = static_cast<NetErrorCode>(code);
+    u64 len = r.readCount(kMaxErrorMessageBytes, 1, "error message byte");
+    err.message.reserve(len);
+    for (u64 i = 0; i < len; ++i)
+        err.message.push_back(static_cast<char>(r.readU8()));
+    r.expectEnd();
+    return err;
+}
+
+WireKind
+peekWireKind(std::span<const u8> blob)
+{
+    ByteReader r(blob);
+    // Reuse the canonical magic/version validation; the kind check in
+    // readHeader is an equality test, so probe the byte first.
+    if (blob.size() < 6)
+        r.fail("truncated reading wire header");
+    u8 kind = blob[5];
+    if (kind < static_cast<u8>(WireKind::Params) ||
+        kind > static_cast<u8>(WireKind::ErrorResponse))
+        r.fail(strprintf("unknown wire kind %u", kind));
+    r.readHeader(static_cast<WireKind>(kind));
+    return static_cast<WireKind>(kind);
 }
 
 } // namespace ive

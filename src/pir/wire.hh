@@ -70,6 +70,101 @@ PirPartialResponse
 deserializePartialResponse(const HeContext &ctx,
                            std::span<const u8> blob);
 
+/*
+ * Session-protocol frames for the network front-end (src/net/). These
+ * four kinds carry the existing blobs above as opaque nested byte
+ * strings, so the net layer can route a frame without a HeContext; the
+ * crypto-bearing payloads are validated by the nested deserializers
+ * once the frame reaches the session registry / query engine.
+ */
+
+/**
+ * Connection handshake and registration acknowledgement. A client
+ * sends Hello{clientId, 0}; the server replies Hello{clientId, g}
+ * where g is the client's current key generation (0 = not registered).
+ * RegisterKeys is acknowledged with the same frame carrying the newly
+ * assigned generation.
+ */
+struct PirHello
+{
+    u64 clientId = 0;
+    u64 generation = 0;
+};
+
+/**
+ * One-time key upload (SealPIR's set_galois_key(client_id, keys)
+ * pattern): the client's Params and PublicKeys blobs, registered
+ * under clientId so later queries can reference the id instead of
+ * re-shipping megabytes of keys.
+ */
+struct PirRegisterKeys
+{
+    u64 clientId = 0;
+    std::vector<u8> paramsBlob;
+    std::vector<u8> keyBlob;
+};
+
+/**
+ * A query referencing previously registered keys. generation must
+ * match the registry's current generation for clientId — a client
+ * that was LRU-evicted and re-registered gets a new generation, so a
+ * stale reference can never be served with the wrong keys.
+ */
+struct PirQueryRef
+{
+    u64 clientId = 0;
+    u64 generation = 0;
+    std::vector<u8> queryBlob;
+};
+
+/** Typed failure codes carried by an ErrorResponse frame. */
+enum class NetErrorCode : u32
+{
+    BadFrame = 1,        // malformed/oversized frame or wire payload
+    BadRequest = 2,      // well-framed but semantically invalid
+    UnknownClient = 3,   // QueryRef for an unregistered client id
+    StaleGeneration = 4, // QueryRef generation no longer current
+    Overloaded = 5,      // admission control shed the request
+    DeadlineExceeded = 6,
+    ShuttingDown = 7,
+    Unavailable = 8, // shard/replica path unavailable
+    Internal = 9,
+};
+
+/** Cap on the human-readable message an ErrorResponse may carry. */
+inline constexpr u64 kMaxErrorMessageBytes = 1024;
+
+/**
+ * Typed error frame the server sends instead of a Response when a
+ * request fails; messages longer than kMaxErrorMessageBytes are
+ * truncated on encode and rejected on decode.
+ */
+struct PirErrorResponse
+{
+    NetErrorCode code = NetErrorCode::Internal;
+    std::string message;
+};
+
+std::vector<u8> serializeHello(const PirHello &hello);
+PirHello deserializeHello(std::span<const u8> blob);
+
+std::vector<u8> serializeRegisterKeys(const PirRegisterKeys &reg);
+PirRegisterKeys deserializeRegisterKeys(std::span<const u8> blob);
+
+std::vector<u8> serializeQueryRef(const PirQueryRef &ref);
+PirQueryRef deserializeQueryRef(std::span<const u8> blob);
+
+std::vector<u8> serializeErrorResponse(const PirErrorResponse &err);
+PirErrorResponse deserializeErrorResponse(std::span<const u8> blob);
+
+/**
+ * Validates the magic/version prefix and returns the kind byte of a
+ * top-level blob without consuming it — the net layer's frame router.
+ * Throws SerializeError on short buffers, bad magic, wrong version,
+ * or a kind byte outside the WireKind enum.
+ */
+WireKind peekWireKind(std::span<const u8> blob);
+
 } // namespace ive
 
 #endif // IVE_PIR_WIRE_HH

@@ -52,21 +52,39 @@ dispatchMetrics()
     return m;
 }
 
-/** A future already carrying a typed error — submit() never throws
- *  for serving-state reasons, it returns one of these. */
-std::future<std::vector<u8>>
-rejectedFuture(std::exception_ptr err)
+} // namespace
+
+void
+ShardDispatcher::deliverValue(Pending &p, std::vector<u8> value)
 {
-    std::promise<std::vector<u8>> pr;
-    pr.set_exception(std::move(err));
-    return pr.get_future();
+    if (p.done)
+        p.done(std::move(value), nullptr);
+    else
+        p.promise.set_value(std::move(value));
 }
 
-} // namespace
+void
+ShardDispatcher::deliverError(Pending &p, std::exception_ptr err)
+{
+    if (p.done)
+        p.done({}, std::move(err));
+    else
+        p.promise.set_exception(std::move(err));
+}
 
 ShardDispatcher::ShardDispatcher(ShardCoordinator &coordinator,
                                  const SchedulerConfig &cfg)
-    : coordinator_(coordinator), cfg_(cfg)
+    : coordinator_(&coordinator), cfg_(cfg)
+{
+    ive_assert(cfg_.maxBatch >= 1);
+    ive_assert(cfg_.windowSec >= 0.0);
+    ive_assert(cfg_.maxQueue >= 0);
+    ive_assert(cfg_.queryDeadlineSec >= 0.0);
+    worker_ = std::thread([this] { runLoop(); });
+}
+
+ShardDispatcher::ShardDispatcher(const SchedulerConfig &cfg)
+    : coordinator_(nullptr), cfg_(cfg)
 {
     ive_assert(cfg_.maxBatch >= 1);
     ive_assert(cfg_.windowSec >= 0.0);
@@ -93,20 +111,61 @@ ShardDispatcher::shutdown()
     });
 }
 
-std::future<std::vector<u8>>
-ShardDispatcher::submit(std::vector<u8> query_blob)
+ShardDispatcher::Pending
+ShardDispatcher::makePending(std::vector<u8> blob) const
 {
-    static fail::Failpoint &reject = fail::point("dispatch.queue.reject");
-
-    DispatchMetrics &dm = dispatchMetrics();
     Pending p;
     p.arrival = Clock::now();
     p.arrivalNs = obs::nowNs();
     if (cfg_.queryDeadlineSec > 0.0)
         p.deadlineNs = p.arrivalNs +
                        static_cast<u64>(cfg_.queryDeadlineSec * 1e9);
-    p.blob = std::move(query_blob);
+    p.blob = std::move(blob);
+    return p;
+}
+
+std::future<std::vector<u8>>
+ShardDispatcher::submit(std::vector<u8> query_blob)
+{
+    if (coordinator_ == nullptr)
+        throw std::logic_error("ShardDispatcher: blob-only submit on a "
+                               "coordinator-less dispatcher");
+    Pending p = makePending(std::move(query_blob));
     std::future<std::vector<u8>> fut = p.promise.get_future();
+    enqueue(std::move(p));
+    return fut;
+}
+
+void
+ShardDispatcher::submit(std::vector<u8> query_blob, CompletionFn done)
+{
+    if (coordinator_ == nullptr)
+        throw std::logic_error("ShardDispatcher: blob-only submit on a "
+                               "coordinator-less dispatcher");
+    ive_assert(done != nullptr);
+    Pending p = makePending(std::move(query_blob));
+    p.done = std::move(done);
+    enqueue(std::move(p));
+}
+
+void
+ShardDispatcher::submit(std::vector<u8> query_blob, AnswerFn work,
+                        CompletionFn done)
+{
+    ive_assert(work != nullptr && done != nullptr);
+    Pending p = makePending(std::move(query_blob));
+    p.work = std::move(work);
+    p.done = std::move(done);
+    enqueue(std::move(p));
+}
+
+void
+ShardDispatcher::enqueue(Pending p)
+{
+    static fail::Failpoint &reject = fail::point("dispatch.queue.reject");
+
+    DispatchMetrics &dm = dispatchMetrics();
+    std::exception_ptr rejection;
     {
         LockGuard lk(mu_);
         // stop_ and queue_ change under the same mutex the worker
@@ -116,27 +175,32 @@ ShardDispatcher::submit(std::vector<u8> query_blob)
         // rejected here — a racing submit can never strand a promise.
         if (stop_) {
             ++stats_.rejectedShutdown;
-            return rejectedFuture(std::make_exception_ptr(
-                ShutdownError("ShardDispatcher: submit after shutdown")));
-        }
-        bool atHighWater =
-            cfg_.maxQueue > 0 &&
-            queue_.size() >= static_cast<size_t>(cfg_.maxQueue);
-        if (atHighWater || reject.evaluate()) {
+            rejection = std::make_exception_ptr(
+                ShutdownError("ShardDispatcher: submit after shutdown"));
+        } else if ((cfg_.maxQueue > 0 &&
+                    queue_.size() >=
+                        static_cast<size_t>(cfg_.maxQueue)) ||
+                   reject.evaluate()) {
             ++stats_.shed;
             dm.shed.add(1);
-            return rejectedFuture(std::make_exception_ptr(Overloaded(
+            rejection = std::make_exception_ptr(Overloaded(
                 strprintf("ShardDispatcher: queue at high-water mark "
                           "(%zu waiting, maxQueue %d)",
-                          queue_.size(), cfg_.maxQueue))));
+                          queue_.size(), cfg_.maxQueue)));
+        } else {
+            queue_.push_back(std::move(p));
+            ++stats_.submitted;
+            dm.queueDepth.set(static_cast<i64>(queue_.size()));
         }
-        queue_.push_back(std::move(p));
-        ++stats_.submitted;
-        dm.queueDepth.set(static_cast<i64>(queue_.size()));
+    }
+    if (rejection) {
+        // Outside the lock: a completion callback may re-enter the
+        // dispatcher (or take its own locks) without deadlocking.
+        deliverError(p, std::move(rejection));
+        return;
     }
     dm.submitted.add(1);
     wake_.notify_all();
-    return fut;
 }
 
 void
@@ -223,7 +287,8 @@ ShardDispatcher::runLoop()
             dm.expired.add(lapsed.size());
             dm.completed.add(lapsed.size());
             for (Pending &p : lapsed)
-                p.promise.set_exception(
+                deliverError(
+                    p,
                     std::make_exception_ptr(DeadlineExceeded(strprintf(
                         "ShardDispatcher: deadline (%.3f s) expired "
                         "after %.3f s in the waiting window",
@@ -246,21 +311,42 @@ ShardDispatcher::runLoop()
                                        ? dispatch_ns - p.arrivalNs
                                        : 0);
 
-        std::vector<std::vector<u8>> blobs;
-        blobs.reserve(batch.size());
-        for (const Pending &p : batch)
-            blobs.push_back(p.blob);
-        try {
-            std::vector<std::vector<u8>> responses =
-                coordinator_.answerBatch(blobs);
-            for (size_t i = 0; i < batch.size(); ++i)
-                batch[i].promise.set_value(std::move(responses[i]));
-            // lint: allow(catch-all) -- delivered intact via futures
-        } catch (...) {
-            // One bad blob fails the whole batch up front (answerBatch
-            // validates before any work); every waiter learns why.
-            for (Pending &p : batch)
-                p.promise.set_exception(std::current_exception());
+        // A batch may mix coordinator-bound entries (future/callback
+        // blob submits) with self-contained work thunks; the former
+        // share one answerBatch call, the latter each run inside
+        // their own error boundary so one bad query cannot fail its
+        // batch-mates.
+        std::vector<Pending *> coord;
+        for (Pending &p : batch) {
+            if (p.work) {
+                try {
+                    deliverValue(p, p.work(p.blob));
+                    // lint: allow(catch-all) -- delivered intact via the completion callback
+                } catch (...) {
+                    deliverError(p, std::current_exception());
+                }
+            } else {
+                coord.push_back(&p);
+            }
+        }
+        if (!coord.empty()) {
+            std::vector<std::vector<u8>> blobs;
+            blobs.reserve(coord.size());
+            for (const Pending *p : coord)
+                blobs.push_back(p->blob);
+            try {
+                std::vector<std::vector<u8>> responses =
+                    coordinator_->answerBatch(blobs);
+                for (size_t i = 0; i < coord.size(); ++i)
+                    deliverValue(*coord[i], std::move(responses[i]));
+                // lint: allow(catch-all) -- delivered intact via futures
+            } catch (...) {
+                // One bad blob fails the whole batch up front
+                // (answerBatch validates before any work); every
+                // waiter learns why.
+                for (Pending *p : coord)
+                    deliverError(*p, std::current_exception());
+            }
         }
 
         dm.completed.add(batch.size());

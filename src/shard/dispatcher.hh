@@ -30,6 +30,26 @@
  * submit racing shutdown can neither hang nor see a broken promise.
  * Pipeline errors (e.g. SerializeError for a malformed blob,
  * ShardUnavailable from a dead slice) arrive the same way.
+ *
+ * Result delivery comes in two flavors:
+ *
+ *   future    submit(blob) — the original API; fine for tests and
+ *             batch drivers that can afford to block on get().
+ *   callback  submit(blob, done) / submit(blob, work, done) — for
+ *             event-loop callers (the epoll front-end in src/net/)
+ *             that must never block: done(response, error) fires
+ *             exactly once, on the dispatch thread for accepted work
+ *             or on the submitting thread for immediate rejections,
+ *             always outside the dispatcher lock (re-submitting from
+ *             a callback is safe). Callbacks must not block — they
+ *             run on the serving path.
+ *
+ * The work-thunk variant also decouples the dispatcher from the
+ * coordinator: a Pending carrying its own AnswerFn is executed
+ * directly, which lets the session registry hand each query a
+ * per-client engine while still sharing the window/admission
+ * machinery. A dispatcher built with the coordinator-less constructor
+ * accepts only that variant.
  */
 
 #ifndef IVE_SHARD_DISPATCHER_HH
@@ -37,6 +57,7 @@
 
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -63,12 +84,30 @@ struct DispatcherStats
 class ShardDispatcher
 {
   public:
+    /** Computes one query's response blob (throws a typed ive::Error
+     *  on failure); runs on the dispatch thread. */
+    using AnswerFn =
+        std::function<std::vector<u8>(const std::vector<u8> &)>;
+    /** Exactly-once result delivery: response on success, non-null
+     *  exception_ptr (a typed ive::Error) on failure. */
+    using CompletionFn =
+        std::function<void(std::vector<u8> response,
+                           std::exception_ptr error)>;
+
     /**
      * Starts the dispatch thread. The coordinator must outlive the
      * dispatcher and have its keys ingested before the first submit.
      */
     ShardDispatcher(ShardCoordinator &coordinator,
                     const SchedulerConfig &cfg);
+
+    /**
+     * Coordinator-less dispatcher: only the work-thunk submit variant
+     * is accepted; blob-only submits are API misuse and throw
+     * std::logic_error. Used by the network front-end, where each
+     * query carries its own per-client engine thunk.
+     */
+    explicit ShardDispatcher(const SchedulerConfig &cfg);
 
     /** Flushes the queue, then joins the dispatch thread. */
     ~ShardDispatcher();
@@ -95,6 +134,26 @@ class ShardDispatcher
     std::future<std::vector<u8>> submit(std::vector<u8> query_blob)
         IVE_EXCLUDES(mu_);
 
+    /**
+     * Callback flavor of the blob submit: same admission control and
+     * coordinator batch path, but the result is delivered through
+     * done(response, error) instead of a future. Requires a
+     * coordinator (throws std::logic_error otherwise).
+     */
+    void submit(std::vector<u8> query_blob, CompletionFn done)
+        IVE_EXCLUDES(mu_);
+
+    /**
+     * Work-thunk submit: the query rides the same waiting window and
+     * admission control, but at dispatch time work(blob) computes the
+     * response instead of the coordinator — one thunk per query, each
+     * wrapped in its own error boundary so one bad query cannot fail
+     * its batch-mates. The only variant a coordinator-less dispatcher
+     * accepts.
+     */
+    void submit(std::vector<u8> query_blob, AnswerFn work,
+                CompletionFn done) IVE_EXCLUDES(mu_);
+
     /** Blocks until every submitted query has been dispatched. */
     void drain() IVE_EXCLUDES(mu_);
 
@@ -109,12 +168,21 @@ class ShardDispatcher
         u64 arrivalNs = 0;  ///< obs::nowNs() at submit, for telemetry.
         u64 deadlineNs = 0; ///< arrivalNs + queryDeadlineSec; 0 = none.
         std::vector<u8> blob;
-        std::promise<std::vector<u8>> promise;
+        AnswerFn work;     ///< Non-null: thunk path (skip coordinator).
+        CompletionFn done; ///< Non-null: callback delivery.
+        std::promise<std::vector<u8>> promise; ///< Else: future path.
     };
 
+    Pending makePending(std::vector<u8> blob) const;
+    /** Exactly-once delivery through whichever channel p carries. */
+    static void deliverValue(Pending &p, std::vector<u8> value);
+    static void deliverError(Pending &p, std::exception_ptr err);
+    /** Admission control + queue insert; delivers rejections outside
+     *  the lock (promise or callback, whichever p carries). */
+    void enqueue(Pending p) IVE_EXCLUDES(mu_);
     void runLoop() IVE_EXCLUDES(mu_);
 
-    ShardCoordinator &coordinator_;
+    ShardCoordinator *coordinator_; ///< Null in coordinator-less mode.
     SchedulerConfig cfg_;
 
     mutable Mutex mu_;

@@ -569,3 +569,215 @@ TEST(Serde, DeserializedQueryAnswersIdentically)
     EXPECT_EQ(r1.b, r2.b);
     EXPECT_EQ(client.decode(r1), db.entryCoeffs(6));
 }
+
+// ---------------------------------------------------------------------
+// Session-protocol frames (src/net/): Hello / RegisterKeys / QueryRef /
+// ErrorResponse. Nested blobs are opaque at this layer — the framing
+// must round-trip them bit-exactly and reject hostile declared sizes
+// before allocating.
+
+TEST(Serde, HelloRoundTrip)
+{
+    PirHello h;
+    h.clientId = 0xdeadbeefcafe1234ull;
+    h.generation = 41;
+    std::vector<u8> blob = serializeHello(h);
+    PirHello back = deserializeHello(blob);
+    EXPECT_EQ(back.clientId, h.clientId);
+    EXPECT_EQ(back.generation, h.generation);
+    EXPECT_EQ(serializeHello(back), blob);
+    EXPECT_EQ(peekWireKind(blob), WireKind::Hello);
+}
+
+TEST(Serde, RegisterKeysRoundTrip)
+{
+    SerdeFixture f;
+    PirRegisterKeys reg;
+    reg.clientId = 7;
+    reg.paramsBlob = serializeParams(f.params);
+    // Contents are opaque here; any framed-looking bytes will do.
+    reg.keyBlob = serializeParams(f.params);
+    reg.keyBlob.push_back(0x5a);
+
+    std::vector<u8> blob = serializeRegisterKeys(reg);
+    PirRegisterKeys back = deserializeRegisterKeys(blob);
+    EXPECT_EQ(back.clientId, reg.clientId);
+    EXPECT_EQ(back.paramsBlob, reg.paramsBlob);
+    EXPECT_EQ(back.keyBlob, reg.keyBlob);
+    EXPECT_EQ(serializeRegisterKeys(back), blob);
+    EXPECT_EQ(peekWireKind(blob), WireKind::RegisterKeys);
+}
+
+TEST(Serde, QueryRefRoundTrip)
+{
+    SerdeFixture f;
+    PirQueryRef ref;
+    ref.clientId = 9;
+    ref.generation = 3;
+    ref.queryBlob = serializeParams(f.params);
+
+    std::vector<u8> blob = serializeQueryRef(ref);
+    PirQueryRef back = deserializeQueryRef(blob);
+    EXPECT_EQ(back.clientId, ref.clientId);
+    EXPECT_EQ(back.generation, ref.generation);
+    EXPECT_EQ(back.queryBlob, ref.queryBlob);
+    EXPECT_EQ(serializeQueryRef(back), blob);
+    EXPECT_EQ(peekWireKind(blob), WireKind::QueryRef);
+}
+
+TEST(Serde, ErrorResponseRoundTrip)
+{
+    PirErrorResponse err;
+    err.code = NetErrorCode::StaleGeneration;
+    err.message = "generation 2 is stale; current is 5";
+    std::vector<u8> blob = serializeErrorResponse(err);
+    PirErrorResponse back = deserializeErrorResponse(blob);
+    EXPECT_EQ(back.code, err.code);
+    EXPECT_EQ(back.message, err.message);
+    EXPECT_EQ(serializeErrorResponse(back), blob);
+    EXPECT_EQ(peekWireKind(blob), WireKind::ErrorResponse);
+}
+
+TEST(Serde, ErrorResponseTruncatesOversizedMessage)
+{
+    // Encode-side cap: a pathological message must not bloat the error
+    // frame past kMaxErrorMessageBytes.
+    PirErrorResponse err;
+    err.code = NetErrorCode::Internal;
+    err.message.assign(4 * kMaxErrorMessageBytes, 'x');
+    std::vector<u8> blob = serializeErrorResponse(err);
+    PirErrorResponse back = deserializeErrorResponse(blob);
+    EXPECT_EQ(back.message.size(), kMaxErrorMessageBytes);
+}
+
+TEST(Serde, ErrorResponseRejectsBadCodeAndHostileLength)
+{
+    PirErrorResponse err;
+    err.code = NetErrorCode::BadFrame;
+    err.message = "boom";
+    std::vector<u8> blob = serializeErrorResponse(err);
+
+    // Out-of-range code (layout: 6-byte header, then u32 code).
+    std::vector<u8> bad_code = blob;
+    bad_code[6] = 0xee;
+    EXPECT_NE(throwMessage(
+                  [&] { deserializeErrorResponse(bad_code); })
+                  .find("error code"),
+              std::string::npos);
+
+    // Hostile declared message length (u64 at offset 10) must be
+    // rejected by the count cap, not drive a huge allocation.
+    std::vector<u8> huge = blob;
+    for (size_t i = 0; i < 8; ++i)
+        huge[10 + i] = 0xff;
+    EXPECT_NE(throwMessage([&] { deserializeErrorResponse(huge); })
+                  .find("count"),
+              std::string::npos);
+}
+
+TEST(Serde, RegisterKeysRejectsHostileNestedLengths)
+{
+    SerdeFixture f;
+    PirRegisterKeys reg;
+    reg.clientId = 1;
+    reg.paramsBlob = serializeParams(f.params);
+    reg.keyBlob = serializeParams(f.params);
+    std::vector<u8> blob = serializeRegisterKeys(reg);
+
+    // Layout: 6-byte header, u64 clientId, u64 params-blob length.
+    // An absurd declared length must fail the count cap up front.
+    std::vector<u8> huge = blob;
+    for (size_t i = 0; i < 8; ++i)
+        huge[14 + i] = 0xff;
+    EXPECT_NE(throwMessage([&] { deserializeRegisterKeys(huge); })
+                  .find("count"),
+              std::string::npos);
+
+    // A sub-header nested "blob" (too short to hold magic+version+
+    // kind) is garbage by construction.
+    std::vector<u8> tiny = blob;
+    for (size_t i = 0; i < 8; ++i)
+        tiny[14 + i] = 0;
+    tiny[14] = 3;
+    EXPECT_NE(throwMessage([&] { deserializeRegisterKeys(tiny); })
+                  .find("too short"),
+              std::string::npos);
+}
+
+TEST(Serde, SessionFrameTruncationSweeps)
+{
+    SerdeFixture f;
+    PirRegisterKeys reg;
+    reg.clientId = 2;
+    reg.paramsBlob = serializeParams(f.params);
+    reg.keyBlob = serializeParams(f.params);
+    PirQueryRef ref;
+    ref.clientId = 2;
+    ref.generation = 1;
+    ref.queryBlob = serializeParams(f.params);
+    PirErrorResponse err;
+    err.code = NetErrorCode::Overloaded;
+    err.message = "shed";
+
+    PirHello h;
+    std::vector<u8> hello = serializeHello(h);
+    std::vector<u8> regb = serializeRegisterKeys(reg);
+    std::vector<u8> refb = serializeQueryRef(ref);
+    std::vector<u8> errb = serializeErrorResponse(err);
+
+    for (size_t len = 0; len < hello.size(); ++len)
+        EXPECT_THROW(
+            deserializeHello(std::span(hello.data(), len)),
+            SerializeError);
+    for (size_t len = 0; len < regb.size(); ++len)
+        EXPECT_THROW(
+            deserializeRegisterKeys(std::span(regb.data(), len)),
+            SerializeError);
+    for (size_t len = 0; len < refb.size(); ++len)
+        EXPECT_THROW(
+            deserializeQueryRef(std::span(refb.data(), len)),
+            SerializeError);
+    for (size_t len = 0; len < errb.size(); ++len)
+        EXPECT_THROW(
+            deserializeErrorResponse(std::span(errb.data(), len)),
+            SerializeError);
+}
+
+TEST(Serde, SessionFramesRejectTrailingBytesAndWrongKind)
+{
+    PirHello h;
+    h.clientId = 5;
+    std::vector<u8> blob = serializeHello(h);
+    std::vector<u8> padded = blob;
+    padded.push_back(0);
+    EXPECT_THROW(deserializeHello(padded), SerializeError);
+    // A Hello blob is not a QueryRef.
+    EXPECT_THROW(deserializeQueryRef(blob), SerializeError);
+}
+
+TEST(Serde, PeekWireKindRejectsGarbage)
+{
+    PirHello h;
+    std::vector<u8> blob = serializeHello(h);
+    EXPECT_EQ(peekWireKind(blob), WireKind::Hello);
+
+    // Too short to hold a header.
+    std::vector<u8> stub(blob.begin(), blob.begin() + 5);
+    EXPECT_THROW(peekWireKind(stub), SerializeError);
+
+    // Unknown kind byte.
+    std::vector<u8> bad_kind = blob;
+    bad_kind[5] = 0x7f;
+    EXPECT_NE(throwMessage([&] { peekWireKind(bad_kind); })
+                  .find("unknown wire kind"),
+              std::string::npos);
+
+    // Wrong magic and wrong version still go through the canonical
+    // header validation.
+    std::vector<u8> bad_magic = blob;
+    bad_magic[0] = 'X';
+    EXPECT_THROW(peekWireKind(bad_magic), SerializeError);
+    std::vector<u8> bad_version = blob;
+    bad_version[4] = kWireVersion + 1;
+    EXPECT_THROW(peekWireKind(bad_version), SerializeError);
+}
